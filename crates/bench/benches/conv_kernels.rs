@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the tensor kernels behind the functional
+//! simulations: direct vs im2col convolution, both backward passes, GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipelayer_tensor::{ops, Tensor};
+use std::hint::black_box;
+
+fn probe_input() -> (Tensor, Tensor, Tensor) {
+    let x = Tensor::from_fn(&[8, 28, 28], |i| ((i[0] * 784 + i[1] * 28 + i[2]) as f32 * 0.017).sin());
+    let w = Tensor::from_fn(&[16, 8, 3, 3], |i| {
+        ((i[0] * 72 + i[1] * 9 + i[2] * 3 + i[3]) as f32 * 0.093).cos() * 0.2
+    });
+    let b = Tensor::zeros(&[16]);
+    (x, w, b)
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let (x, w, b) = probe_input();
+    c.bench_function("conv2d_direct_8x28x28_k3x16", |bch| {
+        bch.iter(|| black_box(ops::conv2d(black_box(&x), &w, &b, 1, 1)))
+    });
+    c.bench_function("conv2d_im2col_8x28x28_k3x16", |bch| {
+        bch.iter(|| black_box(ops::conv2d_im2col(black_box(&x), &w, &b, 1, 1)))
+    });
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let (x, w, b) = probe_input();
+    let delta = ops::conv2d(&x, &w, &b, 1, 1);
+    c.bench_function("conv2d_backward_input", |bch| {
+        bch.iter(|| black_box(ops::conv2d_backward_input(black_box(&delta), &w, (28, 28), 1, 1)))
+    });
+    c.bench_function("conv2d_backward_weights", |bch| {
+        bch.iter(|| {
+            black_box(ops::conv2d_backward_weights(
+                black_box(&x),
+                &delta,
+                (3, 3),
+                1,
+                1,
+            ))
+        })
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = Tensor::from_fn(&[128, 256], |i| ((i[0] + i[1]) as f32 * 0.011).sin());
+    let b = Tensor::from_fn(&[256, 128], |i| ((i[0] * 2 + i[1]) as f32 * 0.013).cos());
+    c.bench_function("matmul_128x256x128", |bch| {
+        bch.iter(|| black_box(ops::matmul(black_box(&a), black_box(&b))))
+    });
+    let w = Tensor::from_fn(&[512, 784], |i| ((i[0] + 3 * i[1]) as f32 * 0.007).sin());
+    let x = Tensor::from_fn(&[784], |i| (i[0] as f32 * 0.031).cos());
+    c.bench_function("matvec_512x784", |bch| {
+        bch.iter(|| black_box(ops::matvec(black_box(&w), black_box(&x))))
+    });
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let x = Tensor::from_fn(&[16, 24, 24], |i| ((i[0] + i[1] * 5 + i[2]) as f32 * 0.03).sin());
+    c.bench_function("maxpool2d_16x24x24", |bch| {
+        bch.iter(|| black_box(ops::maxpool2d(black_box(&x), 2, 2)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_conv_backward,
+    bench_gemm,
+    bench_pooling
+);
+criterion_main!(benches);

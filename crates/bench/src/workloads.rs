@@ -1,0 +1,45 @@
+//! Standard workloads: the ten evaluation networks with per-class image
+//! counts sized so every run is a multiple of the batch size.
+
+use pipelayer_nn::spec::NetSpec;
+use pipelayer_nn::zoo;
+
+/// Default batch size `B` (the paper's running example).
+pub const BATCH: usize = 64;
+
+/// Images per evaluation run for the MNIST-scale networks.
+pub const N_MNIST: u64 = 6400;
+
+/// Images per evaluation run for the ImageNet-scale networks.
+pub const N_IMAGENET: u64 = 640;
+
+/// The ten evaluation networks paired with their workload sizes, in the
+/// paper's figure order.
+pub fn evaluation_workloads() -> Vec<(NetSpec, u64)> {
+    zoo::evaluation_specs()
+        .into_iter()
+        .map(|spec| {
+            let n = if spec.input.1 <= 32 { N_MNIST } else { N_IMAGENET };
+            (spec, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_batch_multiples() {
+        for (spec, n) in evaluation_workloads() {
+            assert_eq!(n % BATCH as u64, 0, "{} workload not a batch multiple", spec.name);
+        }
+    }
+
+    #[test]
+    fn mnist_nets_get_larger_runs() {
+        let w = evaluation_workloads();
+        assert_eq!(w[0].1, N_MNIST); // Mnist-A
+        assert_eq!(w[5].1, N_IMAGENET); // VGG-A
+    }
+}

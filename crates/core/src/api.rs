@@ -1,0 +1,325 @@
+//! The host-side programming interface of Sec. 5.2.
+//!
+//! The paper exposes PipeLayer through `Copy_to_PL` / `Copy_to_CPU` (data
+//! movement), `Topology_set` (configure the `G` groups of arrays per
+//! layer), `Weight_load` (program pretrained or initial weights),
+//! `Pipeline_set` and finally `Train` / `Test`. [`Accelerator`] mirrors
+//! that flow with a builder (`Topology_set` ≈ [`AcceleratorBuilder`]) and
+//! snake-cased methods for the rest.
+//!
+//! Timing/energy/area estimates are available for every network in the
+//! zoo; *functional* execution (actually running data through the modelled
+//! crossbars) is available for MLP topologies via the [`functional`]
+//! datapath.
+//!
+//! [`functional`]: crate::functional
+
+use crate::area::{testing_area, training_area, AreaModel};
+use crate::config::PipeLayerConfig;
+use crate::functional::ReramMlp;
+use crate::granularity::{default_granularity, scale_lambda};
+use crate::mapping::MappedNetwork;
+use crate::perf::{PerfModel, RunEstimate};
+use pipelayer_nn::spec::NetSpec;
+use pipelayer_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from functional accelerator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcceleratorError {
+    /// Functional execution is implemented for MLP topologies only.
+    NotAnMlp(String),
+    /// `Weight_load` must run before `Train`/`Test`.
+    WeightsNotLoaded,
+    /// `Copy_to_PL` must stage data before `Train`/`Test`.
+    NoStagedData,
+}
+
+impl fmt::Display for AcceleratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceleratorError::NotAnMlp(name) => {
+                write!(f, "functional execution supports MLPs only, `{name}` has convolutions")
+            }
+            AcceleratorError::WeightsNotLoaded => write!(f, "call weight_load before train/test"),
+            AcceleratorError::NoStagedData => write!(f, "call copy_to_pl before train/test"),
+        }
+    }
+}
+
+impl Error for AcceleratorError {}
+
+/// Builder implementing `Topology_set`/`Pipeline_set`.
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    spec: NetSpec,
+    config: PipeLayerConfig,
+    granularity: Option<Vec<usize>>,
+    lambda: Option<f64>,
+    pipelined: bool,
+}
+
+impl AcceleratorBuilder {
+    /// Training batch size `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        assert!(b > 0, "batch size must be non-zero");
+        self.config.batch_size = b;
+        self
+    }
+
+    /// Explicit per-layer parallelism granularity (`Topology_set`'s `G`).
+    pub fn granularity(mut self, g: Vec<usize>) -> Self {
+        self.granularity = Some(g);
+        self
+    }
+
+    /// Scale the default granularity by λ (Fig. 17/18 sweeps).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Enable or disable the inter-layer pipeline (`Pipeline_set`).
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Finalises the configuration and maps the network onto arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit granularity has the wrong length.
+    pub fn build(self) -> Accelerator {
+        let resolved = self.spec.resolve();
+        let g = match (self.granularity, self.lambda) {
+            (Some(g), _) => g,
+            (None, Some(lambda)) => {
+                scale_lambda(&default_granularity(&resolved), lambda, &resolved)
+            }
+            (None, None) => default_granularity(&resolved),
+        };
+        let mapped = MappedNetwork::with_granularity(&self.spec, &g, self.config);
+        Accelerator {
+            spec: self.spec,
+            mapped,
+            pipelined: self.pipelined,
+            mlp: None,
+            staged: Vec::new(),
+        }
+    }
+}
+
+/// A configured PipeLayer instance.
+pub struct Accelerator {
+    spec: NetSpec,
+    mapped: MappedNetwork,
+    pipelined: bool,
+    mlp: Option<ReramMlp>,
+    staged: Vec<(Tensor, usize)>,
+}
+
+impl Accelerator {
+    /// Starts configuring an accelerator for `spec` (Sec. 5.2's
+    /// `Topology_set` flow).
+    pub fn builder(spec: NetSpec) -> AcceleratorBuilder {
+        AcceleratorBuilder {
+            spec,
+            config: PipeLayerConfig::default(),
+            granularity: None,
+            lambda: None,
+            pipelined: true,
+        }
+    }
+
+    /// The mapped network (arrays, granularity, tiles).
+    pub fn mapped(&self) -> &MappedNetwork {
+        &self.mapped
+    }
+
+    /// The network description.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// Whether the inter-layer pipeline is enabled.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Estimated training run for `n` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a positive multiple of the batch size.
+    pub fn estimate_training(&self, n: u64) -> RunEstimate {
+        PerfModel::new(&self.mapped).training(n, self.pipelined)
+    }
+
+    /// Estimated testing run for `n` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn estimate_testing(&self, n: u64) -> RunEstimate {
+        PerfModel::new(&self.mapped).testing(n, self.pipelined)
+    }
+
+    /// Builds a full configuration report (mapping, timing, energy, area,
+    /// efficiency) over a probe workload of `n` images.
+    pub fn report(&self, n: u64) -> crate::report::ConfigurationReport {
+        crate::report::ConfigurationReport::build(&self.mapped, n)
+    }
+
+    /// Die area of the training deployment, mm².
+    pub fn training_area_mm2(&self) -> f64 {
+        training_area(&self.mapped, &AreaModel::default()).mm2
+    }
+
+    /// Die area of a testing-only deployment, mm².
+    pub fn testing_area_mm2(&self) -> f64 {
+        testing_area(&self.mapped, &AreaModel::default()).mm2
+    }
+
+    /// `Copy_to_PL`: stages labelled images in accelerator memory.
+    pub fn copy_to_pl(&mut self, images: Vec<Tensor>, labels: Vec<usize>) {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        self.staged = images.into_iter().zip(labels).collect();
+    }
+
+    /// `Weight_load`: programs initial weights into the morphable arrays.
+    /// Functional execution is available for MLP topologies.
+    ///
+    /// # Errors
+    ///
+    /// [`AcceleratorError::NotAnMlp`] for convolutional topologies.
+    pub fn weight_load(&mut self, seed: u64) -> Result<(), AcceleratorError> {
+        if !self.spec.is_mlp() {
+            return Err(AcceleratorError::NotAnMlp(self.spec.name.clone()));
+        }
+        let mut dims = vec![self.spec.input.0 * self.spec.input.1 * self.spec.input.2];
+        dims.extend(self.mapped.layers.iter().map(|l| l.resolved.matrix_cols));
+        self.mlp = Some(ReramMlp::new(&dims, &self.mapped.config.params, seed));
+        Ok(())
+    }
+
+    /// `Train`: runs `epochs` of mini-batch SGD on the staged data through
+    /// the ReRAM datapath. Returns the final mean batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Fails if weights are not loaded or no data is staged.
+    pub fn train(&mut self, epochs: usize, lr: f32) -> Result<f32, AcceleratorError> {
+        if self.staged.is_empty() {
+            return Err(AcceleratorError::NoStagedData);
+        }
+        let mlp = self.mlp.as_mut().ok_or(AcceleratorError::WeightsNotLoaded)?;
+        let b = self.mapped.config.batch_size.min(self.staged.len());
+        let mut last = 0.0;
+        for _ in 0..epochs.max(1) {
+            for chunk in self.staged.chunks(b) {
+                let images: Vec<Tensor> = chunk.iter().map(|(t, _)| t.clone()).collect();
+                let labels: Vec<usize> = chunk.iter().map(|&(_, l)| l).collect();
+                last = mlp.train_batch(&images, &labels, lr);
+            }
+        }
+        Ok(last)
+    }
+
+    /// `Test`: classifies the staged images; results stay on-accelerator
+    /// until [`copy_to_cpu`](Self::copy_to_cpu).
+    ///
+    /// # Errors
+    ///
+    /// Fails if weights are not loaded or no data is staged.
+    pub fn test(&mut self) -> Result<Vec<usize>, AcceleratorError> {
+        if self.staged.is_empty() {
+            return Err(AcceleratorError::NoStagedData);
+        }
+        let mlp = self.mlp.as_mut().ok_or(AcceleratorError::WeightsNotLoaded)?;
+        let images: Vec<Tensor> = self.staged.iter().map(|(t, _)| t.clone()).collect();
+        Ok(images.iter().map(|t| mlp.predict(t.as_slice())).collect())
+    }
+
+    /// `Copy_to_CPU`: returns (a copy of) the staged labels — the host-side
+    /// readback path.
+    pub fn copy_to_cpu(&self) -> Vec<usize> {
+        self.staged.iter().map(|&(_, l)| l).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::downsample;
+    use pipelayer_nn::data::SyntheticMnist;
+    use pipelayer_nn::zoo;
+
+    #[test]
+    fn builder_defaults() {
+        let acc = Accelerator::builder(zoo::alexnet()).build();
+        assert!(acc.is_pipelined());
+        assert_eq!(acc.mapped().config.batch_size, 64);
+        assert_eq!(acc.mapped().weighted_layers(), 8);
+    }
+
+    #[test]
+    fn lambda_controls_arrays() {
+        let small = Accelerator::builder(zoo::vgg(zoo::VggVariant::A)).lambda(0.25).build();
+        let big = Accelerator::builder(zoo::vgg(zoo::VggVariant::A)).lambda(4.0).build();
+        assert!(big.training_area_mm2() > small.training_area_mm2());
+        assert!(big.estimate_testing(640).time_s < small.estimate_testing(640).time_s);
+    }
+
+    #[test]
+    fn functional_flow_on_mlp() {
+        let data = SyntheticMnist::generate(60, 20, 9);
+        // A small custom MLP spec over downsampled 7x7 inputs.
+        let spec = pipelayer_nn::NetSpec::new(
+            "tiny-mlp",
+            (1, 7, 7),
+            vec![
+                pipelayer_nn::LayerSpec::Fc { n_out: 12 },
+                pipelayer_nn::LayerSpec::Fc { n_out: 10 },
+            ],
+        );
+        let mut acc = Accelerator::builder(spec).batch_size(10).build();
+        let images: Vec<_> = data.train.images.iter().map(|t| downsample(t, 4)).collect();
+        acc.copy_to_pl(images, data.train.labels.clone());
+        acc.weight_load(3).expect("MLP loads");
+        let loss1 = acc.train(1, 0.3).expect("train");
+        let loss5 = acc.train(3, 0.3).expect("train more");
+        assert!(loss5 < loss1, "loss should fall: {loss1} -> {loss5}");
+        let preds = acc.test().expect("test");
+        assert_eq!(preds.len(), 60);
+    }
+
+    #[test]
+    fn conv_nets_reject_functional_but_estimate() {
+        let mut acc = Accelerator::builder(zoo::spec_mnist_0()).build();
+        assert!(matches!(
+            acc.weight_load(0),
+            Err(AcceleratorError::NotAnMlp(_))
+        ));
+        let est = acc.estimate_training(64);
+        assert!(est.time_s > 0.0);
+    }
+
+    #[test]
+    fn train_without_data_errors() {
+        let mut acc = Accelerator::builder(zoo::spec_mnist_a()).build();
+        acc.weight_load(0).unwrap();
+        assert_eq!(acc.train(1, 0.1), Err(AcceleratorError::NoStagedData));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = AcceleratorError::NotAnMlp("VGG-E".into());
+        assert!(e.to_string().contains("VGG-E"));
+    }
+}

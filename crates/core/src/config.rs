@@ -1,0 +1,53 @@
+//! Accelerator configuration.
+
+use pipelayer_reram::ReramParams;
+
+/// PipeLayer configuration: device parameters plus training batch size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeLayerConfig {
+    /// ReRAM device/array parameters (NVSim-derived, Sec. 6.2).
+    pub params: ReramParams,
+    /// Training batch size `B` (the paper's running example uses 64).
+    pub batch_size: usize,
+}
+
+impl Default for PipeLayerConfig {
+    fn default() -> Self {
+        PipeLayerConfig {
+            params: ReramParams::default(),
+            batch_size: 64,
+        }
+    }
+}
+
+impl PipeLayerConfig {
+    /// Creates a config with the default device parameters and the given
+    /// batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        PipeLayerConfig {
+            params: ReramParams::default(),
+            batch_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_batch_is_64() {
+        assert_eq!(PipeLayerConfig::default().batch_size, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_batch() {
+        PipeLayerConfig::with_batch(0);
+    }
+}

@@ -1,0 +1,149 @@
+//! ReRAM endurance under training — how long the accelerator can train
+//! before its weight cells wear out.
+//!
+//! The paper does not discuss endurance, but it is the first question any
+//! adopter of in-ReRAM *training* asks: every batch update programs every
+//! weight cell (Fig. 14b), and metal-oxide cells survive a bounded number
+//! of programming cycles (reported values range from ~10⁶ for dense
+//! storage-class parts to ~10¹⁰–10¹² for research devices). This module
+//! turns the reproduction's write accounting into lifetime estimates, so
+//! the trade-off is explicit instead of implicit.
+
+use crate::mapping::MappedNetwork;
+use crate::perf::PerfModel;
+
+/// Device endurance in programming cycles per cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// Programming cycles a cell survives.
+    pub write_cycles: f64,
+}
+
+impl EnduranceModel {
+    /// A storage-class device (~10⁶ cycles).
+    pub fn storage_class() -> Self {
+        EnduranceModel { write_cycles: 1e6 }
+    }
+
+    /// A typical research-grade metal-oxide cell (~10⁹ cycles).
+    pub fn research_grade() -> Self {
+        EnduranceModel { write_cycles: 1e9 }
+    }
+
+    /// An optimistic endurance-optimised device (~10¹² cycles).
+    pub fn optimistic() -> Self {
+        EnduranceModel { write_cycles: 1e12 }
+    }
+}
+
+/// Lifetime estimate for continuous training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lifetime {
+    /// Weight updates (batches) per second at full training throughput.
+    pub updates_per_second: f64,
+    /// Programming pulses each weight cell receives per update (≈1; the
+    /// averaged SGD step moves a cell at most a level or two).
+    pub pulses_per_update: f64,
+    /// Seconds until the weight cells reach the endurance budget.
+    pub seconds: f64,
+}
+
+impl Lifetime {
+    /// Lifetime in days.
+    pub fn days(&self) -> f64 {
+        self.seconds / 86_400.0
+    }
+
+    /// Lifetime in years.
+    pub fn years(&self) -> f64 {
+        self.days() / 365.25
+    }
+}
+
+/// Estimates how long `net` can train continuously before its weight cells
+/// wear out under `model`.
+///
+/// The binding resource is the *weight* cells: every update reprograms
+/// them, while buffer cells can be wear-levelled across the (much larger)
+/// memory region. `pulses_per_update` defaults to 1 (small averaged SGD
+/// deltas move a cell at most one level).
+///
+/// # Panics
+///
+/// Panics if `model.write_cycles` is not positive.
+pub fn training_lifetime(net: &MappedNetwork, model: &EnduranceModel) -> Lifetime {
+    assert!(model.write_cycles > 0.0, "endurance must be positive");
+    let b = net.config.batch_size as u64;
+    // Time per batch at steady state: estimate over a long run.
+    let n = 100 * b;
+    let est = PerfModel::new(net).training(n, true);
+    let updates_per_second = (n / b) as f64 / est.time_s;
+    let pulses_per_update = 1.0;
+    Lifetime {
+        updates_per_second,
+        pulses_per_update,
+        seconds: model.write_cycles / (updates_per_second * pulses_per_update),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipeLayerConfig;
+    use pipelayer_nn::zoo;
+
+    fn mapped(spec: &pipelayer_nn::NetSpec) -> MappedNetwork {
+        MappedNetwork::from_spec(spec, PipeLayerConfig::default())
+    }
+
+    #[test]
+    fn storage_class_cells_wear_out_fast() {
+        // MNIST-scale training updates thousands of times per second;
+        // a 10⁶-cycle device lasts minutes — the adoption blocker.
+        let net = mapped(&zoo::spec_mnist_a());
+        let life = training_lifetime(&net, &EnduranceModel::storage_class());
+        assert!(
+            life.seconds < 3_600.0,
+            "storage-class cells should die within an hour: {}s",
+            life.seconds
+        );
+    }
+
+    #[test]
+    fn research_grade_survives_much_longer() {
+        let net = mapped(&zoo::spec_mnist_a());
+        let weak = training_lifetime(&net, &EnduranceModel::storage_class());
+        let strong = training_lifetime(&net, &EnduranceModel::research_grade());
+        assert!((strong.seconds / weak.seconds - 1e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn slower_pipelines_wear_slower() {
+        // VGG's long cycle means far fewer updates per second than an MLP.
+        let mlp = training_lifetime(&mapped(&zoo::spec_mnist_a()), &EnduranceModel::research_grade());
+        let vgg = training_lifetime(
+            &mapped(&zoo::vgg(zoo::VggVariant::D)),
+            &EnduranceModel::research_grade(),
+        );
+        assert!(vgg.updates_per_second < mlp.updates_per_second);
+        assert!(vgg.seconds > mlp.seconds);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let l = Lifetime {
+            updates_per_second: 1.0,
+            pulses_per_update: 1.0,
+            seconds: 86_400.0 * 365.25,
+        };
+        assert!((l.days() - 365.25).abs() < 1e-9);
+        assert!((l.years() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_endurance() {
+        let net = mapped(&zoo::spec_mnist_a());
+        training_lifetime(&net, &EnduranceModel { write_cycles: 0.0 });
+    }
+}

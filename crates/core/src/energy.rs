@@ -1,0 +1,254 @@
+//! Spike-level energy accounting for full runs (Fig. 16).
+//!
+//! Reads: every array-read phase injects up to `data_bits` spikes per word
+//! line (half on average for random data), fanned across the column tiles
+//! and the 8 crossbars (pos/neg × four segment groups) of each matrix copy.
+//! Writes: intermediate data (`d`, `δ`) written into ReRAM memory subarrays
+//! and morphable `d` copies — PipeLayer "writes all of data to ReRAM arrays"
+//! (Sec. 6.6), which is why write energy dominates — plus the per-batch
+//! weight reprogramming (Fig. 14b).
+
+use crate::mapping::{MappedLayer, MappedNetwork};
+use pipelayer_reram::EnergyCounter;
+
+/// Per-image energy decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Array-read spikes.
+    pub reads_j: f64,
+    /// Intermediate-data writes (input, d, morphable copies, δ).
+    pub data_writes_j: f64,
+    /// Weight reprogramming (amortised per image).
+    pub weight_updates_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total per-image energy.
+    pub fn total_j(&self) -> f64 {
+        self.reads_j + self.data_writes_j + self.weight_updates_j
+    }
+}
+
+/// Per-image / per-batch spike counts for a mapped network.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel<'a> {
+    net: &'a MappedNetwork,
+}
+
+impl<'a> EnergyModel<'a> {
+    /// Creates an energy model over `net`.
+    pub fn new(net: &'a MappedNetwork) -> Self {
+        EnergyModel { net }
+    }
+
+    /// Average read spikes one forward pass of `layer` injects per image:
+    /// `P · rows · (bits/2) · col_tiles · 8`.
+    fn forward_read_spikes(&self, layer: &MappedLayer) -> u64 {
+        let p = &self.net.config.params;
+        let col_tiles = layer.resolved.matrix_cols.div_ceil(p.xbar_size) as u64;
+        let positions = layer.resolved.window_positions.max(1) as u64;
+        positions
+            * layer.resolved.matrix_rows as u64
+            * (p.data_bits as u64 / 2)
+            * col_tiles
+            * p.crossbars_per_matrix() as u64
+    }
+
+    /// Read spikes per image during testing.
+    pub fn testing_read_spikes_per_image(&self) -> u64 {
+        self.net.layers.iter().map(|l| self.forward_read_spikes(l)).sum()
+    }
+
+    /// Words written to memory subarrays per image during testing:
+    /// the staged input image (`d_0` enters via `Copy_to_PL`) plus each
+    /// layer's outputs flowing into the next buffer.
+    pub fn testing_write_words_per_image(&self) -> u64 {
+        self.input_words() + self.net.layers.iter().map(|l| l.out_words).sum::<u64>()
+    }
+
+    /// Words of one input image.
+    fn input_words(&self) -> u64 {
+        let (c, h, w) = self.net.layers[0].resolved.in_shape;
+        (c * h * w) as u64
+    }
+
+    /// Read spikes per image during training: forward, plus the error
+    /// convolution (≈ one forward-equivalent, absent for layer 1) and the
+    /// partial-derivative computation (≈ one forward-equivalent).
+    pub fn training_read_spikes_per_image(&self) -> u64 {
+        self.net
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(idx, l)| {
+                let fwd = self.forward_read_spikes(l);
+                let err = if idx == 0 { 0 } else { fwd };
+                fwd + err + fwd
+            })
+            .sum()
+    }
+
+    /// Words written per image during training: the staged input, each
+    /// layer's `d` into the inter-layer buffer, the copy of its *input*
+    /// data into morphable arrays for the gradient convolution (Fig. 12),
+    /// and the `δ`s.
+    pub fn training_write_words_per_image(&self) -> u64 {
+        self.input_words()
+            + self
+                .net
+                .layers
+                .iter()
+                .map(|l| l.out_words + l.in_words + l.delta_words)
+                .sum::<u64>()
+    }
+
+    /// Programming spikes per weight update (once per batch). A tuning
+    /// pulse moves a cell one conductance level; averaged SGD steps move
+    /// most weights by at most one level of one segment, so the expected
+    /// cost is about one pulse per stored cell — `cells_per_word` pulses
+    /// per weight (full re-levelling would cost `cells_per_word × 2^bits`).
+    pub fn update_write_spikes_per_batch(&self) -> u64 {
+        let cells = self.net.config.params.cells_per_word() as u64;
+        self.net
+            .layers
+            .iter()
+            .map(|l| cells * l.resolved.weights as u64)
+            .sum()
+    }
+
+    /// Total testing energy for `n` images, joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn testing_energy_j(&self, n: u64) -> f64 {
+        assert!(n > 0, "empty workload");
+        let p = &self.net.config.params;
+        let mut e = EnergyCounter::new();
+        e.add_read_spikes(n * self.testing_read_spikes_per_image());
+        e.add_word_writes(n * self.testing_write_words_per_image(), p);
+        e.energy_joules(p)
+    }
+
+    /// Where the training energy goes, joules per image (plus the per-batch
+    /// update amortised over the batch): array reads, intermediate-data
+    /// writes, and weight reprogramming. The writes dominating is the
+    /// Sec. 6.6 explanation for PipeLayer's power-efficiency deficit.
+    pub fn training_breakdown_j_per_image(&self) -> EnergyBreakdown {
+        let p = &self.net.config.params;
+        let b = self.net.config.batch_size as f64;
+        let reads = self.training_read_spikes_per_image() as f64 * p.read_energy_pj * 1e-12;
+        let writes = (self.training_write_words_per_image() * p.cells_per_word() as u64) as f64
+            * p.write_energy_pj
+            * 1e-12;
+        let update =
+            self.update_write_spikes_per_batch() as f64 * p.write_energy_pj * 1e-12 / b;
+        EnergyBreakdown {
+            reads_j: reads,
+            data_writes_j: writes,
+            weight_updates_j: update,
+        }
+    }
+
+    /// Total training energy for `n` images, joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a positive multiple of the batch size.
+    pub fn training_energy_j(&self, n: u64) -> f64 {
+        let b = self.net.config.batch_size as u64;
+        assert!(n > 0 && n % b == 0, "n must be a multiple of the batch size");
+        let p = &self.net.config.params;
+        let mut e = EnergyCounter::new();
+        e.add_read_spikes(n * self.training_read_spikes_per_image());
+        e.add_word_writes(n * self.training_write_words_per_image(), p);
+        e.add_write_spikes((n / b) * self.update_write_spikes_per_batch());
+        e.energy_joules(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipeLayerConfig;
+    use crate::mapping::MappedNetwork;
+    use pipelayer_nn::zoo;
+
+    fn model_for(spec: &pipelayer_nn::NetSpec) -> MappedNetwork {
+        MappedNetwork::from_spec(spec, PipeLayerConfig::default())
+    }
+
+    #[test]
+    fn training_costs_more_than_testing() {
+        let net = model_for(&zoo::spec_mnist_0());
+        let e = EnergyModel::new(&net);
+        assert!(e.training_energy_j(64) > e.testing_energy_j(64));
+    }
+
+    #[test]
+    fn energy_linear_in_images() {
+        let net = model_for(&zoo::alexnet());
+        let e = EnergyModel::new(&net);
+        let e1 = e.testing_energy_j(64);
+        let e2 = e.testing_energy_j(128);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_energy_dominates_training() {
+        // Sec. 6.6: PipeLayer writes all data to ReRAM; with 3.91 nJ/write
+        // vs 1.08 pJ/read the writes must dominate the training budget.
+        let net = model_for(&zoo::alexnet());
+        let e = EnergyModel::new(&net);
+        let p = &net.config.params;
+        let read_j =
+            e.training_read_spikes_per_image() as f64 * p.read_energy_pj * 1e-12;
+        let write_j = (e.training_write_words_per_image() * p.cells_per_word() as u64) as f64
+            * p.write_energy_pj
+            * 1e-12;
+        assert!(write_j > read_j, "write {write_j} J vs read {read_j} J");
+    }
+
+    #[test]
+    fn larger_batch_amortises_update_energy() {
+        let spec = zoo::spec_mnist_c();
+        let small = MappedNetwork::from_spec(&spec, PipeLayerConfig::with_batch(8));
+        let large = MappedNetwork::from_spec(&spec, PipeLayerConfig::with_batch(64));
+        let e_small = EnergyModel::new(&small).training_energy_j(64);
+        let e_large = EnergyModel::new(&large).training_energy_j(64);
+        assert!(e_large < e_small);
+    }
+
+    #[test]
+    fn deeper_vgg_costs_more() {
+        let a = model_for(&zoo::vgg(zoo::VggVariant::A));
+        let e_var = model_for(&zoo::vgg(zoo::VggVariant::E));
+        assert!(
+            EnergyModel::new(&e_var).testing_energy_j(64)
+                > EnergyModel::new(&a).testing_energy_j(64)
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let net = model_for(&zoo::spec_mnist_0());
+        let e = EnergyModel::new(&net);
+        let bd = e.training_breakdown_j_per_image();
+        let total = e.training_energy_j(64) / 64.0;
+        assert!(
+            (bd.total_j() - total).abs() < 1e-9 * total,
+            "breakdown {} vs total {}",
+            bd.total_j(),
+            total
+        );
+        // Writes dominate (Sec. 6.6).
+        assert!(bd.data_writes_j > bd.reads_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the batch")]
+    fn training_rejects_partial_batch() {
+        let net = model_for(&zoo::spec_mnist_a());
+        EnergyModel::new(&net).training_energy_j(63);
+    }
+}

@@ -1,0 +1,291 @@
+//! Kernel-to-array mapping (Figs. 4/5) and array accounting (Table 2).
+//!
+//! Each weighted layer's kernel matrix (`K·K·C_in+1 × C_out`, Fig. 4) is
+//! partitioned onto `128×128` crossbar tiles (Fig. 5), duplicated `G` times
+//! (parallelism granularity) and ×8 for the positive/negative pair and the
+//! four 4-bit segment groups (Fig. 14). Training additionally provisions:
+//!
+//! * `A_l2` arrays holding the reordered kernels `(W_l)*` for the error
+//!   backward convolution (Fig. 11), for every layer except the first;
+//! * morphable arrays holding the forward data `d` of in-flight images,
+//!   used as kernels when computing partial derivatives (Fig. 12; Sec. 6.6
+//!   notes `d` is written to morphable subarrays) — one copy per in-flight
+//!   image, `B` per layer in the pipelined design;
+//! * memory subarrays for the inter-layer circular buffers (Fig. 8).
+
+use crate::config::PipeLayerConfig;
+use crate::granularity::default_granularity;
+use pipelayer_nn::spec::{NetSpec, ResolvedLayer};
+use pipelayer_reram::tile_grid;
+
+/// One weighted layer mapped onto arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedLayer {
+    /// Geometry from the network spec.
+    pub resolved: ResolvedLayer,
+    /// Parallelism granularity `G` (weight-replication factor).
+    pub g: usize,
+    /// Crossbar tiles per matrix copy (`⌈rows/128⌉·⌈cols/128⌉`).
+    pub tiles: usize,
+    /// Tiles for the transposed/reordered backward matrix `(W)*`.
+    pub tiles_backward: usize,
+    /// Sequential array-read phases per image in the forward pass:
+    /// `⌈P/G⌉` (Fig. 4's loop, shortened by replication).
+    pub reads_forward: u64,
+    /// Read phases for the error-backward convolution (zero for the first
+    /// layer — `δ_0` is never needed).
+    pub reads_error: u64,
+    /// Read phases for the partial-derivative computation (Fig. 12).
+    pub reads_gradient: u64,
+    /// Output words written to the inter-layer buffer per image.
+    pub out_words: u64,
+    /// Error (`δ`) words written per image during backward.
+    pub delta_words: u64,
+    /// Input-data words copied into morphable arrays for the gradient
+    /// convolution (the stored `d_{l-1}`, Fig. 12).
+    pub in_words: u64,
+}
+
+/// A network fully mapped onto the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedNetwork {
+    /// Network name.
+    pub name: String,
+    /// Weighted layers in order.
+    pub layers: Vec<MappedLayer>,
+    /// Configuration used for the mapping.
+    pub config: PipeLayerConfig,
+}
+
+impl MappedNetwork {
+    /// Maps `spec` with the default (Table 5 style) granularity.
+    pub fn from_spec(spec: &NetSpec, config: PipeLayerConfig) -> Self {
+        let resolved = spec.resolve();
+        let g = default_granularity(&resolved);
+        Self::with_granularity(spec, &g, config)
+    }
+
+    /// Maps `spec` with an explicit per-layer granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len()` differs from the number of weighted layers or
+    /// contains zeros.
+    pub fn with_granularity(spec: &NetSpec, g: &[usize], config: PipeLayerConfig) -> Self {
+        let resolved = spec.resolve();
+        assert_eq!(g.len(), resolved.len(), "granularity length mismatch");
+        assert!(g.iter().all(|&x| x > 0), "granularity must be positive");
+        let size = config.params.xbar_size;
+        let layers = resolved
+            .into_iter()
+            .zip(g)
+            .enumerate()
+            .map(|(idx, (r, &gl))| {
+                let (tr, tc) = tile_grid(r.matrix_rows, r.matrix_cols, size);
+                // Backward matrix: kernels reordered/transposed (Fig. 11);
+                // for FC it is literally Wᵀ.
+                let (btr, btc) = tile_grid(r.matrix_cols.max(1), r.matrix_rows, size);
+                let p = r.window_positions.max(1) as u64;
+                // Error backward convolves over the layer's *input* spatial
+                // extent (zero-padded full convolution, Fig. 11).
+                let p_err = if r.is_conv {
+                    (r.in_shape.1 * r.in_shape.2) as u64
+                } else {
+                    1
+                };
+                let reads_error = if idx == 0 { 0 } else { p_err.div_ceil(gl as u64) };
+                // Gradient phase: δ channels drive the stored-d arrays
+                // (Fig. 12) — one input vector per output channel for conv.
+                // FC gradients are produced entirely by the batch-averaged
+                // 1/B-spike read at update time (Sec. 4.4.2), so they cost
+                // nothing in the per-image backward phase.
+                let reads_gradient = if r.is_conv {
+                    (r.matrix_cols as u64).div_ceil(gl as u64)
+                } else {
+                    0
+                };
+                let out_words =
+                    (r.post_pool_shape.0 * r.post_pool_shape.1 * r.post_pool_shape.2) as u64;
+                let delta_words = (r.out_shape.0 * r.out_shape.1 * r.out_shape.2) as u64;
+                let in_words = (r.in_shape.0 * r.in_shape.1 * r.in_shape.2) as u64;
+                MappedLayer {
+                    reads_forward: p.div_ceil(gl as u64),
+                    reads_error,
+                    reads_gradient,
+                    out_words,
+                    delta_words,
+                    in_words,
+                    tiles: tr * tc,
+                    tiles_backward: btr * btc,
+                    g: gl,
+                    resolved: r,
+                }
+            })
+            .collect();
+        MappedNetwork {
+            name: spec.name.clone(),
+            layers,
+            config,
+        }
+    }
+
+    /// Number of weighted layers (`L`).
+    pub fn weighted_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Physical crossbars in the forward (morphable, computation-mode)
+    /// region: `Σ_l tiles_l · G_l · 8`.
+    pub fn forward_crossbars(&self) -> u64 {
+        let per_matrix = self.config.params.crossbars_per_matrix() as u64;
+        self.layers
+            .iter()
+            .map(|l| l.tiles as u64 * l.g as u64 * per_matrix)
+            .sum()
+    }
+
+    /// Crossbars holding the reordered backward kernels (`A_l2`), absent
+    /// for the first layer.
+    pub fn backward_crossbars(&self) -> u64 {
+        let per_matrix = self.config.params.crossbars_per_matrix() as u64;
+        self.layers
+            .iter()
+            .skip(1)
+            .map(|l| l.tiles_backward as u64 * l.g as u64 * per_matrix)
+            .sum()
+    }
+
+    /// Morphable crossbars storing the forward data `d` of in-flight images
+    /// for gradient computation: capacity for `B` images per layer
+    /// (4 cells per 16-bit word).
+    pub fn gradient_data_crossbars(&self) -> u64 {
+        let cells_per_xbar =
+            (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
+        let cells_per_word = self.config.params.cells_per_word() as u64;
+        let b = self.config.batch_size as u64;
+        self.layers
+            .iter()
+            .map(|l| (l.out_words * cells_per_word * b).div_ceil(cells_per_xbar))
+            .sum()
+    }
+
+    /// Memory-subarray crossbars for the circular buffers of Fig. 8
+    /// (depth `2(L−l)+1` per inter-layer `d` buffer, plus the duplicated
+    /// same-cycle read/write buffers for `d_L` and the `δ`s).
+    pub fn buffer_crossbars(&self) -> u64 {
+        let cells_per_xbar =
+            (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
+        let cells_per_word = self.config.params.cells_per_word() as u64;
+        let l_total = self.layers.len() as u64;
+        let mut words = 0u64;
+        for (idx, l) in self.layers.iter().enumerate() {
+            let depth = 2 * (l_total - 1 - idx as u64) + 1;
+            words += l.out_words * depth; // d buffer, Fig. 8 sizing
+            words += l.delta_words * 2; // δ buffer, duplicated (same-cycle R/W)
+        }
+        (words * cells_per_word).div_ceil(cells_per_xbar)
+    }
+
+    /// All crossbars for the training configuration.
+    pub fn total_crossbars_training(&self) -> u64 {
+        self.forward_crossbars()
+            + self.backward_crossbars()
+            + self.gradient_data_crossbars()
+            + self.buffer_crossbars()
+    }
+
+    /// Crossbars for a testing-only deployment (forward arrays plus
+    /// single-entry inter-layer buffers).
+    pub fn total_crossbars_testing(&self) -> u64 {
+        let cells_per_xbar =
+            (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
+        let cells_per_word = self.config.params.cells_per_word() as u64;
+        let words: u64 = self.layers.iter().map(|l| l.out_words).sum();
+        self.forward_crossbars() + (words * cells_per_word).div_ceil(cells_per_xbar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipelayer_nn::zoo;
+
+    fn mapped(spec: &pipelayer_nn::NetSpec) -> MappedNetwork {
+        MappedNetwork::from_spec(spec, PipeLayerConfig::default())
+    }
+
+    #[test]
+    fn fig5_tile_count() {
+        // A 512-row, 256-column kernel matrix needs 8 tiles of 128x128; with
+        // bias row it grows to 513 rows → 5×2 = 10 tiles.
+        let spec = pipelayer_nn::NetSpec::new(
+            "fig5",
+            (128, 8, 8),
+            vec![pipelayer_nn::LayerSpec::Conv { k: 2, c_out: 256, stride: 1, pad: 0 }],
+        );
+        let m = mapped(&spec);
+        assert_eq!(m.layers[0].resolved.matrix_rows, 513);
+        assert_eq!(m.layers[0].tiles, 5 * 2);
+    }
+
+    #[test]
+    fn reads_forward_divided_by_g() {
+        let spec = zoo::spec_mnist_0();
+        let m = mapped(&spec);
+        for l in &m.layers {
+            assert_eq!(
+                l.reads_forward,
+                (l.resolved.window_positions.max(1) as u64).div_ceil(l.g as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn first_layer_has_no_error_phase() {
+        let m = mapped(&zoo::alexnet());
+        assert_eq!(m.layers[0].reads_error, 0);
+        assert!(m.layers[1].reads_error > 0);
+    }
+
+    #[test]
+    fn crossbar_counts_scale_with_g() {
+        let spec = zoo::vgg(zoo::VggVariant::A);
+        let resolved = spec.resolve();
+        let g1 = vec![1usize; resolved.len()];
+        let g2 = vec![2usize; resolved.len()];
+        let m1 = MappedNetwork::with_granularity(&spec, &g1, PipeLayerConfig::default());
+        let m2 = MappedNetwork::with_granularity(&spec, &g2, PipeLayerConfig::default());
+        assert_eq!(m2.forward_crossbars(), 2 * m1.forward_crossbars());
+        assert!(m2.total_crossbars_training() > m1.total_crossbars_training());
+    }
+
+    #[test]
+    fn training_needs_more_arrays_than_testing() {
+        let m = mapped(&zoo::spec_mnist_0());
+        assert!(m.total_crossbars_training() > m.total_crossbars_testing());
+    }
+
+    #[test]
+    fn buffer_sizing_follows_fig8() {
+        // For a 4-weighted-layer net the d-buffer depths are 7,5,3,1.
+        let m = mapped(&zoo::spec_mnist_0());
+        let l = m.layers.len() as u64;
+        let depths: Vec<u64> = (0..l).map(|i| 2 * (l - 1 - i) + 1).collect();
+        assert_eq!(depths, vec![7, 5, 3, 1]);
+        assert!(m.buffer_crossbars() > 0);
+    }
+
+    #[test]
+    fn eight_crossbars_per_matrix_copy() {
+        let m = mapped(&zoo::spec_mnist_a());
+        // Mnist-A: ip785-100 → 7×1 tiles, G=1 → 56 crossbars; ip101-10 → 8.
+        assert_eq!(m.forward_crossbars(), (7 + 1) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity length mismatch")]
+    fn rejects_wrong_granularity_length() {
+        let spec = zoo::spec_mnist_a();
+        MappedNetwork::with_granularity(&spec, &[1], PipeLayerConfig::default());
+    }
+}

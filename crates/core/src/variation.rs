@@ -1,0 +1,142 @@
+//! Network-level device-variation study: what ReRAM programming variation
+//! and stuck-at faults cost in application accuracy (the error-tolerance
+//! premise of Sec. 5.1, made quantitative).
+
+use pipelayer_nn::data::Dataset;
+use pipelayer_nn::Network;
+use pipelayer_quant::{restore_params, snapshot_params};
+use pipelayer_reram::{ReramParams, VariationModel};
+
+/// One point of a variation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationPoint {
+    /// Write-variation σ in conductance levels.
+    pub sigma: f64,
+    /// Absolute test accuracy with corrupted weights.
+    pub accuracy: f32,
+    /// Accuracy normalised to the unperturbed baseline.
+    pub normalized: f32,
+}
+
+/// Applies `model` to every weight tensor in `net`, as stored on
+/// `params.data_bits`-bit words of `params.cell_bits`-bit cells.
+/// Biases are perturbed too — they live in the same arrays.
+pub fn corrupt_network(net: &mut Network, model: &VariationModel, params: &ReramParams, seed: u64) {
+    let mut salt = seed;
+    for layer in net.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            let w = model.perturb_weights(p.weight.as_slice(), params.data_bits, params.cell_bits, salt);
+            p.weight.as_mut_slice().copy_from_slice(&w);
+            let b = model.perturb_weights(p.bias.as_slice(), params.data_bits, params.cell_bits, salt ^ 0xb1a5);
+            p.bias.as_mut_slice().copy_from_slice(&b);
+            salt = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        }
+    }
+}
+
+/// Evaluates a trained network under increasing write variation, restoring
+/// the original weights afterwards. `trials` corruption draws are averaged
+/// per σ.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `trials` is zero.
+pub fn variation_sweep(
+    net: &mut Network,
+    data: &Dataset,
+    sigmas: &[f64],
+    trials: usize,
+    params: &ReramParams,
+) -> Vec<VariationPoint> {
+    assert!(!data.is_empty(), "empty evaluation dataset");
+    assert!(trials > 0, "need at least one trial");
+    let snapshot = snapshot_params(net);
+    let base = net.accuracy(&data.images, &data.labels).max(1e-6);
+
+    let mut points = Vec::with_capacity(sigmas.len());
+    for (si, &sigma) in sigmas.iter().enumerate() {
+        let model = VariationModel::with_sigma(sigma);
+        let mut acc_sum = 0.0f32;
+        for t in 0..trials {
+            corrupt_network(net, &model, params, (si * 1000 + t) as u64);
+            acc_sum += net.accuracy(&data.images, &data.labels);
+            restore_params(net, &snapshot);
+        }
+        let accuracy = acc_sum / trials as f32;
+        points.push(VariationPoint {
+            sigma,
+            accuracy,
+            normalized: accuracy / base,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipelayer_nn::data::SyntheticMnist;
+    use pipelayer_nn::trainer::{TrainConfig, Trainer};
+    use pipelayer_nn::zoo;
+
+    fn trained() -> (Network, SyntheticMnist) {
+        let data = SyntheticMnist::generate(250, 100, 55);
+        let mut net = zoo::m1(55);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 0.1,
+        })
+        .fit(&mut net, &data);
+        (net, data)
+    }
+
+    #[test]
+    fn zero_sigma_preserves_accuracy() {
+        let (mut net, data) = trained();
+        let pts = variation_sweep(&mut net, &data.test, &[0.0], 1, &ReramParams::default());
+        assert!(
+            (pts[0].normalized - 1.0).abs() < 0.05,
+            "σ=0 should be ~lossless, got {}",
+            pts[0].normalized
+        );
+    }
+
+    #[test]
+    fn accuracy_degrades_with_sigma_and_weights_restore() {
+        let (mut net, data) = trained();
+        let before = net.accuracy(&data.test.images, &data.test.labels);
+        let pts = variation_sweep(
+            &mut net,
+            &data.test,
+            &[0.5, 8.0],
+            2,
+            &ReramParams::default(),
+        );
+        assert!(
+            pts[1].accuracy <= pts[0].accuracy + 0.05,
+            "σ=8 ({}) should not beat σ=0.5 ({})",
+            pts[1].accuracy,
+            pts[0].accuracy
+        );
+        let after = net.accuracy(&data.test.images, &data.test.labels);
+        assert_eq!(before, after, "sweep must restore the weights");
+    }
+
+    #[test]
+    fn stuck_at_faults_hurt() {
+        let (mut net, data) = trained();
+        let base = net.accuracy(&data.test.images, &data.test.labels);
+        let harsh = VariationModel {
+            write_sigma: 0.0,
+            stuck_at_zero: 0.4,
+            stuck_at_max: 0.1,
+        };
+        corrupt_network(&mut net, &harsh, &ReramParams::default(), 9);
+        let corrupted = net.accuracy(&data.test.images, &data.test.labels);
+        assert!(
+            corrupted < base,
+            "40% dead cells should cost accuracy: {base} -> {corrupted}"
+        );
+    }
+}

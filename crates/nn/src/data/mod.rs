@@ -1,0 +1,17 @@
+//! Datasets.
+//!
+//! The paper trains on MNIST and ImageNet. Neither ships with this
+//! reproduction, so we substitute procedurally generated equivalents
+//! (documented in DESIGN.md §2):
+//!
+//! * [`SyntheticMnist`] — a 10-class, 28×28 grayscale task with per-class
+//!   spatial prototypes, translation jitter and pixel noise. It is learnable
+//!   by the Table 3 / Fig. 13 networks and — crucially for Fig. 13 — its
+//!   accuracy degrades when weights are quantized, exercising the same code
+//!   path as real MNIST.
+//! * [`random_images`] — unlabeled random tensors for timing-only workloads
+//!   (the ImageNet-scale models are timed, never scored).
+
+mod synthetic;
+
+pub use synthetic::{random_images, Dataset, SyntheticMnist};

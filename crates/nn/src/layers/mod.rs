@@ -1,0 +1,19 @@
+//! Concrete layer implementations: the three CNN layer types of Sec. 2.1
+//! (convolution, pooling, inner product) plus ReLU activation and the
+//! flatten adapter between spatial and vector layers.
+
+mod conv;
+mod dropout;
+mod fc;
+mod flatten;
+mod pool;
+mod relu;
+mod sigmoid;
+
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use fc::Linear;
+pub use flatten::Flatten;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use relu::Relu;
+pub use sigmoid::Sigmoid;

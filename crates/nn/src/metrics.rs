@@ -1,0 +1,87 @@
+//! Evaluation metrics.
+
+use crate::data::Dataset;
+use crate::network::Network;
+
+/// A `C×C` confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates `net` over `data`, assuming `classes` output classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero or any label is out of range.
+    pub fn evaluate(net: &Network, data: &Dataset, classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (img, &label) in data.images.iter().zip(&data.labels) {
+            assert!(label < classes, "label {label} out of range");
+            let pred = net.predict(img);
+            counts[label][pred.min(classes - 1)] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Raw counts, `counts()[true][pred]`.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = self.counts.iter().enumerate().map(|(i, r)| r[i]).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Per-class recall (`None` where a class has no samples).
+    pub fn recall(&self) -> Vec<Option<f32>> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let n: usize = row.iter().sum();
+                (n > 0).then(|| row[i] as f32 / n as f32)
+            })
+            .collect()
+    }
+}
+
+/// Plain accuracy of `net` on `data`.
+pub fn accuracy(net: &Network, data: &Dataset) -> f32 {
+    net.accuracy(&data.images, &data.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticMnist;
+    use crate::zoo;
+
+    #[test]
+    fn confusion_matrix_consistent_with_accuracy() {
+        let data = SyntheticMnist::generate(20, 20, 11);
+        let net = zoo::mnist_a(11); // untrained
+        let cm = ConfusionMatrix::evaluate(&net, &data.test, 10);
+        let total: usize = cm.counts().iter().map(|r| r.iter().sum::<usize>()).sum();
+        assert_eq!(total, 20);
+        assert!((cm.accuracy() - accuracy(&net, &data.test)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_handles_missing_classes() {
+        let cm = ConfusionMatrix {
+            counts: vec![vec![2, 0], vec![0, 0]],
+        };
+        let r = cm.recall();
+        assert_eq!(r[0], Some(1.0));
+        assert_eq!(r[1], None);
+    }
+}

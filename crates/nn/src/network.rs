@@ -1,0 +1,339 @@
+//! Sequential network container with the batch-oriented training protocol of
+//! Sec. 2.2 / 3.1: forward all layers, backward all layers accumulating
+//! partial derivatives, apply the averaged update once per batch.
+
+use crate::layer::Layer;
+use crate::loss::Loss;
+use pipelayer_tensor::Tensor;
+
+/// A feed-forward network: an ordered stack of [`Layer`]s plus a [`Loss`].
+///
+/// # Example
+///
+/// ```
+/// use pipelayer_nn::{Network, Loss};
+/// use pipelayer_nn::layers::{Linear, Relu};
+/// use pipelayer_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Network::new("tiny", Loss::SoftmaxCrossEntropy);
+/// net.push(Linear::new(4, 8, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Linear::new(8, 2, &mut rng));
+/// let out = net.forward(&Tensor::ones(&[4]));
+/// assert_eq!(out.dims(), &[2]);
+/// ```
+pub struct Network {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+    loss: Loss,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>, loss: Loss) -> Self {
+        Network {
+            name: name.into(),
+            layers: Vec::new(),
+            loss,
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Network name (e.g. `"Mnist-A"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured loss function.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Mutable access to the layer stack (used by the quantization pass).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Layer access.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Total learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Training-mode forward pass (caches per-layer state).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference-mode forward pass (no caching, immutable).
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Backward pass from an output-layer error; accumulates gradients.
+    pub fn backward(&mut self, delta: &Tensor) -> Tensor {
+        let mut d = delta.clone();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Predicted class (argmax of the output).
+    pub fn predict(&self, input: &Tensor) -> usize {
+        self.infer(input).argmax()
+    }
+
+    /// Runs one training mini-batch: forwards and backwards every sample
+    /// (accumulating partial derivatives exactly as PipeLayer buffers
+    /// `ΔW` per image), then applies the averaged update. Returns the mean
+    /// loss over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` have different lengths or are empty.
+    pub fn train_batch(&mut self, images: &[Tensor], labels: &[usize], lr: f32) -> f32 {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty batch");
+        let mut total = 0.0;
+        for (img, &label) in images.iter().zip(labels) {
+            let out = self.forward(img);
+            let (loss, delta) = self.loss.loss_and_delta(&out, label);
+            total += loss;
+            self.backward(&delta);
+        }
+        let b = images.len();
+        for layer in &mut self.layers {
+            layer.apply_update(lr, b);
+        }
+        total / b as f32
+    }
+
+    /// Like [`train_batch`](Self::train_batch) but with an external update
+    /// rule (momentum / weight decay). `states` must be created by
+    /// [`OptStates::for_network`] and reused across batches — it carries
+    /// the velocity buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths, an empty batch, or states built for a
+    /// different network.
+    pub fn train_batch_opt(
+        &mut self,
+        images: &[Tensor],
+        labels: &[usize],
+        opt: &crate::optimizer::Optimizer,
+        states: &mut OptStates,
+    ) -> f32 {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty batch");
+        let mut total = 0.0;
+        for (img, &label) in images.iter().zip(labels) {
+            let out = self.forward(img);
+            let (loss, delta) = self.loss.loss_and_delta(&out, label);
+            total += loss;
+            self.backward(&delta);
+        }
+        let b = images.len();
+        let mut si = 0usize;
+        for layer in &mut self.layers {
+            if let Some(g) = layer.grads_mut() {
+                let (ws, bs) = states
+                    .slots
+                    .get_mut(si)
+                    .expect("OptStates built for a smaller network");
+                ws.apply(opt, g.weight, g.dweight, b, true);
+                bs.apply(opt, g.bias, g.dbias, b, false);
+                si += 1;
+            }
+            layer.zero_grad();
+        }
+        assert_eq!(si, states.slots.len(), "OptStates layer count mismatch");
+        total / b as f32
+    }
+
+    /// Classification accuracy over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn accuracy(&self, images: &[Tensor], labels: &[usize]) -> f32 {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty evaluation set");
+        let correct = images
+            .iter()
+            .zip(labels)
+            .filter(|(img, label)| self.predict(img) == **label)
+            .count();
+        correct as f32 / images.len() as f32
+    }
+}
+
+/// Optimizer state (velocity buffers) for every parameterised layer of a
+/// network, used with [`Network::train_batch_opt`].
+#[derive(Debug, Clone, Default)]
+pub struct OptStates {
+    slots: Vec<(crate::optimizer::ParamState, crate::optimizer::ParamState)>,
+}
+
+impl OptStates {
+    /// Allocates fresh state for `net`'s parameterised layers.
+    pub fn for_network(net: &mut Network) -> Self {
+        let mut n = 0usize;
+        for layer in &mut net.layers {
+            if layer.grads_mut().is_some() {
+                n += 1;
+            }
+        }
+        OptStates {
+            slots: (0..n).map(|_| Default::default()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.layers.iter().map(|l| l.name()).collect();
+        write!(
+            f,
+            "Network({}, {} params, [{}])",
+            self.name,
+            self.param_count(),
+            names.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new("xor", Loss::SoftmaxCrossEntropy);
+        net.push(Linear::new(2, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(8, 2, &mut rng));
+        net
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = xor_net(3);
+        let images: Vec<Tensor> = [(0., 0.), (0., 1.), (1., 0.), (1., 1.)]
+            .iter()
+            .map(|&(a, b)| Tensor::from_vec(&[2], vec![a, b]))
+            .collect();
+        let labels = vec![0usize, 1, 1, 0];
+        let mut last = f32::INFINITY;
+        for _ in 0..600 {
+            last = net.train_batch(&images, &labels, 0.5);
+        }
+        assert!(last < 0.1, "xor failed to converge, loss {last}");
+        assert_eq!(net.accuracy(&images, &labels), 1.0);
+    }
+
+    #[test]
+    fn infer_does_not_mutate() {
+        let net = xor_net(4);
+        let x = Tensor::from_vec(&[2], vec![1.0, 0.0]);
+        let a = net.infer(&x);
+        let b = net.infer(&x);
+        assert!(a.allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn batch_update_equals_mean_of_gradients() {
+        // Train on a batch of two identical samples vs one sample: the
+        // averaged update must be identical.
+        let mut net1 = xor_net(5);
+        let mut net2 = xor_net(5);
+        let x = Tensor::from_vec(&[2], vec![0.3, 0.7]);
+        net1.train_batch(&[x.clone()], &[1], 0.1);
+        net2.train_batch(&[x.clone(), x.clone()], &[1, 1], 0.1);
+        let y1 = net1.infer(&x);
+        let y2 = net2.infer(&x);
+        assert!(y1.allclose(&y2, 1e-5));
+    }
+
+    #[test]
+    fn momentum_training_converges_faster_on_xor() {
+        use crate::optimizer::Optimizer;
+        let images: Vec<Tensor> = [(0., 0.), (0., 1.), (1., 0.), (1., 1.)]
+            .iter()
+            .map(|&(a, b)| Tensor::from_vec(&[2], vec![a, b]))
+            .collect();
+        let labels = vec![0usize, 1, 1, 0];
+
+        let run = |momentum: f32| -> f32 {
+            let mut net = xor_net(8);
+            let opt = Optimizer::with_momentum(0.1, momentum);
+            let mut states = OptStates::for_network(&mut net);
+            let mut last = 0.0;
+            for _ in 0..250 {
+                last = net.train_batch_opt(&images, &labels, &opt, &mut states);
+            }
+            last
+        };
+        let plain = run(0.0);
+        let momo = run(0.9);
+        assert!(momo < plain, "momentum should help: {momo} vs {plain}");
+    }
+
+    #[test]
+    fn plain_opt_matches_train_batch() {
+        use crate::optimizer::Optimizer;
+        let x = Tensor::from_vec(&[2], vec![0.4, -0.6]);
+        let mut a = xor_net(9);
+        let mut b = xor_net(9);
+        a.train_batch(&[x.clone()], &[1], 0.2);
+        let mut states = OptStates::for_network(&mut b);
+        b.train_batch_opt(&[x.clone()], &[1], &Optimizer::sgd(0.2), &mut states);
+        assert!(a.infer(&x).allclose(&b.infer(&x), 1e-5));
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let net = xor_net(6);
+        let dbg = format!("{net:?}");
+        assert!(dbg.contains("ip2-8") && dbg.contains("relu"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn rejects_empty_batch() {
+        xor_net(7).train_batch(&[], &[], 0.1);
+    }
+}

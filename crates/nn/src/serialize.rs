@@ -1,0 +1,237 @@
+//! Weight checkpointing: a small, dependency-free binary format for saving
+//! and restoring a network's learnable parameters — the host-side artifact
+//! that `Weight_load` (Sec. 5.2) programs into the morphable arrays.
+//!
+//! Format (little-endian):
+//! `b"PLW1"` · `u32` tensor count · per tensor: `u32` rank, `u32×rank`
+//! dims, `f32×numel` data. Weights and biases alternate in layer order.
+
+use crate::network::Network;
+use pipelayer_tensor::Tensor;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"PLW1";
+
+/// Errors while decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not a PLW1 blob.
+    BadMagic,
+    /// Blob ended mid-field.
+    Truncated,
+    /// Tensor shape disagrees with the target network.
+    ShapeMismatch {
+        /// Index of the offending tensor.
+        index: usize,
+    },
+    /// Checkpoint holds a different number of tensors than the network.
+    CountMismatch {
+        /// Tensors in the blob.
+        found: usize,
+        /// Tensors the network needs.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a PLW1 checkpoint"),
+            DecodeError::Truncated => write!(f, "checkpoint truncated"),
+            DecodeError::ShapeMismatch { index } => {
+                write!(f, "tensor {index} shape mismatch")
+            }
+            DecodeError::CountMismatch { found, expected } => {
+                write!(f, "checkpoint has {found} tensors, network needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn push_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend((t.dims().len() as u32).to_le_bytes());
+    for &d in t.dims() {
+        out.extend((d as u32).to_le_bytes());
+    }
+    for &v in t.as_slice() {
+        out.extend(v.to_le_bytes());
+    }
+}
+
+/// Serialises every parameter tensor of `net` (weights and biases, layer
+/// order) into a checkpoint blob.
+pub fn save_params(net: &mut Network) -> Vec<u8> {
+    let tensors: Vec<Tensor> = net
+        .layers_mut()
+        .iter_mut()
+        .filter_map(|l| l.params_mut())
+        .flat_map(|p| [p.weight.clone(), p.bias.clone()])
+        .collect();
+    let mut out = Vec::new();
+    out.extend(MAGIC);
+    out.extend((tensors.len() as u32).to_le_bytes());
+    for t in &tensors {
+        push_tensor(&mut out, t);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Restores a checkpoint produced by [`save_params`] into `net`.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input or mismatched architecture; the
+/// network is left unmodified on error.
+pub fn load_params(net: &mut Network, bytes: &[u8]) -> Result<(), DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let count = r.u32()? as usize;
+    // Decode everything first so errors cannot leave the net half-written.
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = r.u32()? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(r.u32()? as usize);
+        }
+        let numel: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(r.f32()?);
+        }
+        tensors.push(Tensor::from_vec(&dims, data));
+    }
+
+    let expected = net
+        .layers_mut()
+        .iter_mut()
+        .filter(|l| l.param_count() > 0)
+        .count()
+        * 2;
+    if tensors.len() != expected {
+        return Err(DecodeError::CountMismatch {
+            found: tensors.len(),
+            expected,
+        });
+    }
+    // Validate shapes before committing.
+    {
+        let mut it = tensors.iter();
+        let mut index = 0usize;
+        for layer in net.layers_mut() {
+            if let Some(p) = layer.params_mut() {
+                let w = it.next().expect("count checked");
+                if w.dims() != p.weight.dims() {
+                    return Err(DecodeError::ShapeMismatch { index });
+                }
+                index += 1;
+                let b = it.next().expect("count checked");
+                if b.dims() != p.bias.dims() {
+                    return Err(DecodeError::ShapeMismatch { index });
+                }
+                index += 1;
+            }
+        }
+    }
+    let mut it = tensors.into_iter();
+    for layer in net.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            *p.weight = it.next().expect("validated");
+            *p.bias = it.next().expect("validated");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use pipelayer_tensor::Tensor;
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let mut a = zoo::mnist_a(31);
+        let blob = save_params(&mut a);
+        let mut b = zoo::mnist_a(99); // different init
+        let x = Tensor::from_fn(&[1, 28, 28], |i| ((i[1] + i[2]) as f32 * 0.03).sin().abs());
+        assert_ne!(format!("{:?}", a.infer(&x)), format!("{:?}", b.infer(&x)));
+        load_params(&mut b, &blob).expect("load");
+        assert!(a.infer(&x).allclose(&b.infer(&x), 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut net = zoo::mnist_a(1);
+        assert_eq!(load_params(&mut net, b"nope"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut net = zoo::mnist_a(2);
+        let mut blob = save_params(&mut net);
+        blob.truncate(blob.len() / 2);
+        assert_eq!(load_params(&mut net, &blob), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = zoo::mnist_a(3);
+        let blob = save_params(&mut a);
+        let mut c = zoo::mnist_c(3);
+        match load_params(&mut c, &blob) {
+            Err(DecodeError::CountMismatch { .. }) | Err(DecodeError::ShapeMismatch { .. }) => {}
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_leaves_network_intact() {
+        let mut net = zoo::mnist_a(4);
+        let x = Tensor::ones(&[1, 28, 28]);
+        let before = net.infer(&x);
+        let mut blob = save_params(&mut net);
+        blob.truncate(blob.len() - 1);
+        let _ = load_params(&mut net, &blob);
+        assert!(net.infer(&x).allclose(&before, 0.0));
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let mut net = zoo::mnist_a(5);
+        let blob = save_params(&mut net);
+        // 79,510 params × 4 bytes + small header/shape overhead.
+        let payload = net.param_count() * 4;
+        assert!(blob.len() >= payload && blob.len() < payload + 128);
+    }
+}

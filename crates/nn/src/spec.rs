@@ -1,0 +1,393 @@
+//! Architecture-level network descriptions.
+//!
+//! The accelerator model in the `pipelayer` crate never needs to *execute*
+//! AlexNet or VGG — it needs their geometry: layer shapes, kernel-matrix
+//! dimensions, the number of kernel-window positions per layer (the
+//! sequential-input count of Fig. 4), and operation counts. [`NetSpec`]
+//! captures exactly that, and [`NetSpec::build`] can also instantiate a
+//! functional [`Network`] for the MNIST-scale models.
+//!
+//! [`Network`]: crate::Network
+//!
+//! Pooling is *folded into the preceding weighted layer*: in PipeLayer, max
+//! pooling is performed by the register in the activation component
+//! (Sec. 4.2.3) and its error backward is routed by the same component
+//! (Sec. 4.3, Fig. 10b), so a pool never occupies a pipeline stage of its
+//! own. `L` in the paper's cycle formulas counts *weighted* layers.
+
+use crate::layers::{AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use crate::loss::Loss;
+use crate::network::Network;
+use pipelayer_tensor::ops::conv_output_len;
+use rand::Rng;
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Max pooling (register in the activation component).
+    Max,
+    /// Average pooling (shift-add when `K²` is a power of two).
+    Avg,
+}
+
+/// One layer of a network description, in the paper's notation
+/// (`ConvKxC`, pooling, `N1-N2` inner product).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerSpec {
+    /// Convolution with `c_out` kernels of spatial size `k×k`, followed by
+    /// ReLU.
+    Conv {
+        /// Kernel spatial size `K`.
+        k: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Pooling over `k×k` windows with stride `stride`.
+    Pool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Max or average.
+        kind: PoolKind,
+    },
+    /// Inner-product layer to `n_out` neurons, followed by ReLU unless it is
+    /// the network's final layer.
+    Fc {
+        /// Output neurons.
+        n_out: usize,
+    },
+}
+
+/// A complete network description: input geometry plus layer list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSpec {
+    /// Network name as used in the paper's figures (e.g. `"VGG-C"`).
+    pub name: String,
+    /// Input `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Ordered layers.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// A weighted layer with its geometry resolved against the input shape —
+/// the unit the accelerator maps onto morphable subarrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedLayer {
+    /// `"convKxC"` or `"ipM-N"`.
+    pub name: String,
+    /// `true` for convolution, `false` for inner product.
+    pub is_conv: bool,
+    /// Input shape `(C, H, W)`; for FC layers `(n_in, 1, 1)`.
+    pub in_shape: (usize, usize, usize),
+    /// Output shape before pooling `(C, H, W)`; for FC `(n_out, 1, 1)`.
+    pub out_shape: (usize, usize, usize),
+    /// Shape after the folded pooling stage, if any.
+    pub post_pool_shape: (usize, usize, usize),
+    /// Rows of the mapped kernel matrix: `K·K·C_in + 1` (with bias),
+    /// or `n_in + 1`.
+    pub matrix_rows: usize,
+    /// Columns of the mapped kernel matrix: `C_out` or `n_out`.
+    pub matrix_cols: usize,
+    /// Kernel-window positions per image — the number of sequential input
+    /// vectors fed to the crossbars (Fig. 4). `1` for FC layers.
+    pub window_positions: usize,
+    /// Learnable scalars (weights + biases).
+    pub weights: usize,
+    /// Multiply–accumulate operations in one forward pass.
+    pub macs_forward: u64,
+}
+
+impl ResolvedLayer {
+    /// Forward operation count (2 ops per MAC, the GOPS convention used in
+    /// the paper's efficiency numbers).
+    pub fn ops_forward(&self) -> u64 {
+        2 * self.macs_forward
+    }
+
+    /// Backward operation count: error backward (≈ forward cost) plus the
+    /// weight-gradient convolution (≈ forward cost).
+    pub fn ops_backward(&self) -> u64 {
+        4 * self.macs_forward
+    }
+}
+
+impl NetSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, input: (usize, usize, usize), layers: Vec<LayerSpec>) -> Self {
+        NetSpec {
+            name: name.into(),
+            input,
+            layers,
+        }
+    }
+
+    /// Resolves the spec into weighted layers with concrete geometry,
+    /// folding each pooling stage into the preceding weighted layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool precedes any weighted layer, or windows do not fit.
+    pub fn resolve(&self) -> Vec<ResolvedLayer> {
+        let mut out: Vec<ResolvedLayer> = Vec::new();
+        let mut shape = self.input;
+        for spec in &self.layers {
+            match *spec {
+                LayerSpec::Conv { k, c_out, stride, pad } => {
+                    let (c_in, h, w) = shape;
+                    let ho = conv_output_len(h, k, stride, pad);
+                    let wo = conv_output_len(w, k, stride, pad);
+                    let macs = (ho * wo * c_out * k * k * c_in) as u64;
+                    out.push(ResolvedLayer {
+                        name: format!("conv{k}x{c_out}"),
+                        is_conv: true,
+                        in_shape: shape,
+                        out_shape: (c_out, ho, wo),
+                        post_pool_shape: (c_out, ho, wo),
+                        matrix_rows: k * k * c_in + 1,
+                        matrix_cols: c_out,
+                        window_positions: ho * wo,
+                        weights: k * k * c_in * c_out + c_out,
+                        macs_forward: macs,
+                    });
+                    shape = (c_out, ho, wo);
+                }
+                LayerSpec::Pool { k, stride, .. } => {
+                    let (c, h, w) = shape;
+                    let ho = conv_output_len(h, k, stride, 0);
+                    let wo = conv_output_len(w, k, stride, 0);
+                    let prev = out
+                        .last_mut()
+                        .expect("pooling cannot precede all weighted layers");
+                    prev.post_pool_shape = (c, ho, wo);
+                    shape = (c, ho, wo);
+                }
+                LayerSpec::Fc { n_out } => {
+                    let (c, h, w) = shape;
+                    let n_in = c * h * w;
+                    let macs = (n_in * n_out) as u64;
+                    out.push(ResolvedLayer {
+                        name: format!("ip{n_in}-{n_out}"),
+                        is_conv: false,
+                        in_shape: (n_in, 1, 1),
+                        out_shape: (n_out, 1, 1),
+                        post_pool_shape: (n_out, 1, 1),
+                        matrix_rows: n_in + 1,
+                        matrix_cols: n_out,
+                        window_positions: 1,
+                        weights: n_in * n_out + n_out,
+                        macs_forward: macs,
+                    });
+                    shape = (n_out, 1, 1);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of weighted layers — the `L` of the paper's cycle formulas.
+    pub fn weighted_layers(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| !matches!(l, LayerSpec::Pool { .. }))
+            .count()
+    }
+
+    /// Total learnable scalars.
+    pub fn weight_count(&self) -> usize {
+        self.resolve().iter().map(|l| l.weights).sum()
+    }
+
+    /// Forward operations for one image (2 ops/MAC).
+    pub fn ops_forward(&self) -> u64 {
+        self.resolve().iter().map(|l| l.ops_forward()).sum()
+    }
+
+    /// Backward (training) operations for one image.
+    pub fn ops_backward(&self) -> u64 {
+        self.resolve().iter().map(|l| l.ops_backward()).sum()
+    }
+
+    /// `true` if the network has no convolution layers (pure MLP).
+    pub fn is_mlp(&self) -> bool {
+        !self
+            .layers
+            .iter()
+            .any(|l| matches!(l, LayerSpec::Conv { .. }))
+    }
+
+    /// Instantiates a functional, trainable [`Network`] from this spec.
+    /// ReLU follows every weighted layer except the last; pooling layers are
+    /// instantiated explicitly. Intended for the MNIST-scale networks — the
+    /// ImageNet models would allocate gigabytes.
+    pub fn build(&self, loss: Loss, rng: &mut impl Rng) -> Network {
+        let mut net = Network::new(self.name.clone(), loss);
+        let mut shape = self.input;
+        let weighted_total = self.weighted_layers();
+        let mut weighted_seen = 0usize;
+        let mut flattened = false;
+        for spec in &self.layers {
+            match *spec {
+                LayerSpec::Conv { k, c_out, stride, pad } => {
+                    let (c_in, h, w) = shape;
+                    net.push(Conv2d::new(c_in, c_out, k, stride, pad, rng));
+                    weighted_seen += 1;
+                    if weighted_seen < weighted_total {
+                        net.push(Relu::new());
+                    }
+                    shape = (
+                        c_out,
+                        conv_output_len(h, k, stride, pad),
+                        conv_output_len(w, k, stride, pad),
+                    );
+                }
+                LayerSpec::Pool { k, stride, kind } => {
+                    match kind {
+                        PoolKind::Max => {
+                            net.push(MaxPool2d::new(k, stride));
+                        }
+                        PoolKind::Avg => {
+                            net.push(AvgPool2d::new(k, stride));
+                        }
+                    }
+                    let (c, h, w) = shape;
+                    shape = (
+                        c,
+                        conv_output_len(h, k, stride, 0),
+                        conv_output_len(w, k, stride, 0),
+                    );
+                }
+                LayerSpec::Fc { n_out } => {
+                    let (c, h, w) = shape;
+                    if !flattened && (h > 1 || w > 1 || c != c * h * w) {
+                        net.push(Flatten::new());
+                        flattened = true;
+                    }
+                    net.push(Linear::new(c * h * w, n_out, rng));
+                    weighted_seen += 1;
+                    if weighted_seen < weighted_total {
+                        net.push(Relu::new());
+                    }
+                    shape = (n_out, 1, 1);
+                }
+            }
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lenet_like() -> NetSpec {
+        NetSpec::new(
+            "lenet",
+            (1, 28, 28),
+            vec![
+                LayerSpec::Conv { k: 5, c_out: 20, stride: 1, pad: 0 },
+                LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+                LayerSpec::Conv { k: 5, c_out: 50, stride: 1, pad: 0 },
+                LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+                LayerSpec::Fc { n_out: 500 },
+                LayerSpec::Fc { n_out: 10 },
+            ],
+        )
+    }
+
+    #[test]
+    fn resolve_shapes() {
+        let layers = lenet_like().resolve();
+        assert_eq!(layers.len(), 4);
+        assert_eq!(layers[0].out_shape, (20, 24, 24));
+        assert_eq!(layers[0].post_pool_shape, (20, 12, 12));
+        assert_eq!(layers[1].out_shape, (50, 8, 8));
+        assert_eq!(layers[1].post_pool_shape, (50, 4, 4));
+        assert_eq!(layers[2].in_shape, (800, 1, 1));
+        assert_eq!(layers[3].out_shape, (10, 1, 1));
+    }
+
+    #[test]
+    fn matrix_dims_match_fig4() {
+        // Fig. 4: 28 channels of 5x5 kernels over 24x24 output -> the mapped
+        // matrix for a layer with C_in=28, K=5, C_out=28 has 700+1 rows.
+        let spec = NetSpec::new(
+            "fig4",
+            (28, 28, 28),
+            vec![LayerSpec::Conv { k: 5, c_out: 28, stride: 1, pad: 0 }],
+        );
+        let l = &spec.resolve()[0];
+        assert_eq!(l.matrix_rows, 5 * 5 * 28 + 1);
+        assert_eq!(l.matrix_cols, 28);
+        assert_eq!(l.window_positions, 24 * 24);
+    }
+
+    #[test]
+    fn weighted_layer_count_ignores_pools() {
+        assert_eq!(lenet_like().weighted_layers(), 4);
+    }
+
+    #[test]
+    fn mac_counts() {
+        let spec = lenet_like();
+        let layers = spec.resolve();
+        // conv1: 24*24*20*5*5*1 = 288000 MACs
+        assert_eq!(layers[0].macs_forward, 288_000);
+        // fc to 10: 500*10
+        assert_eq!(layers[3].macs_forward, 5_000);
+        assert_eq!(spec.ops_forward(), layers.iter().map(|l| l.ops_forward()).sum());
+        assert_eq!(spec.ops_backward(), 2 * spec.ops_forward());
+    }
+
+    #[test]
+    fn weight_count_matches_known_formula() {
+        let spec = lenet_like();
+        let want = (5 * 5 * 20 + 20) + (5 * 5 * 20 * 50 + 50) + (800 * 500 + 500) + (500 * 10 + 10);
+        assert_eq!(spec.weight_count(), want);
+    }
+
+    #[test]
+    fn build_produces_trainable_network() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = NetSpec::new(
+            "tiny",
+            (1, 6, 6),
+            vec![
+                LayerSpec::Conv { k: 3, c_out: 4, stride: 1, pad: 0 },
+                LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+                LayerSpec::Fc { n_out: 3 },
+            ],
+        );
+        let mut net = spec.build(Loss::SoftmaxCrossEntropy, &mut rng);
+        let x = pipelayer_tensor::Tensor::ones(&[1, 6, 6]);
+        let y = net.forward(&x);
+        assert_eq!(y.dims(), &[3]);
+        let loss0 = net.train_batch(&[x.clone()], &[1], 0.1);
+        let loss1 = net.train_batch(&[x.clone()], &[1], 0.1);
+        assert!(loss1 < loss0);
+    }
+
+    #[test]
+    fn mlp_detection() {
+        assert!(!lenet_like().is_mlp());
+        let mlp = NetSpec::new("m", (1, 28, 28), vec![LayerSpec::Fc { n_out: 10 }]);
+        assert!(mlp.is_mlp());
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling cannot precede")]
+    fn rejects_leading_pool() {
+        NetSpec::new(
+            "bad",
+            (1, 4, 4),
+            vec![LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max }],
+        )
+        .resolve();
+    }
+}

@@ -1,0 +1,197 @@
+//! Mini-batch SGD training loop with the paper's batch semantics: all
+//! samples of a batch are processed against the same weights; the averaged
+//! update is applied at the batch boundary (Sec. 3.1/3.3).
+
+use crate::data::SyntheticMnist;
+use crate::network::{Network, OptStates};
+use crate::optimizer::Optimizer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Batch size `B` (the paper's default is 64; MNIST-scale runs here use
+    /// smaller batches for speed).
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            lr: 0.05,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Accuracy on the training split after the final epoch.
+    pub final_train_accuracy: f32,
+    /// Accuracy on the test split after the final epoch.
+    pub final_test_accuracy: f32,
+}
+
+/// Drives training of a [`Network`] over a [`SyntheticMnist`] dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Trainer {
+    config: TrainConfig,
+    optimizer: Option<Optimizer>,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration (plain averaged SGD,
+    /// the paper's update rule).
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer {
+            config,
+            optimizer: None,
+        }
+    }
+
+    /// Uses an explicit update rule (momentum / weight decay) instead of
+    /// plain SGD; the rule's own learning rate replaces `config.lr`.
+    pub fn with_optimizer(mut self, opt: Optimizer) -> Self {
+        self.optimizer = Some(opt);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` and returns loss/accuracy history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero epochs or batch size, or the dataset is
+    /// empty.
+    pub fn fit(&self, net: &mut Network, data: &SyntheticMnist) -> TrainReport {
+        let cfg = &self.config;
+        assert!(cfg.epochs > 0 && cfg.batch_size > 0, "degenerate train config");
+        assert!(!data.train.is_empty(), "empty training set");
+
+        let n = data.train.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        let mut states = self
+            .optimizer
+            .as_ref()
+            .map(|_| OptStates::for_network(net));
+
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let images: Vec<_> = chunk.iter().map(|&i| data.train.images[i].clone()).collect();
+                let labels: Vec<_> = chunk.iter().map(|&i| data.train.labels[i]).collect();
+                epoch_loss += match (&self.optimizer, &mut states) {
+                    (Some(opt), Some(states)) => {
+                        net.train_batch_opt(&images, &labels, opt, states)
+                    }
+                    _ => net.train_batch(&images, &labels, cfg.lr),
+                };
+                batches += 1;
+            }
+            epoch_losses.push(epoch_loss / batches as f32);
+        }
+
+        TrainReport {
+            final_train_accuracy: net.accuracy(&data.train.images, &data.train.labels),
+            final_test_accuracy: net.accuracy(&data.test.images, &data.test.labels),
+            epoch_losses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn mlp_learns_synthetic_mnist() {
+        let data = SyntheticMnist::generate(400, 100, 21);
+        let mut net = zoo::mnist_a(21);
+        let report = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 0.1,
+        })
+        .fit(&mut net, &data);
+        assert!(
+            report.final_test_accuracy > 0.85,
+            "test accuracy too low: {}",
+            report.final_test_accuracy
+        );
+        let first = report.epoch_losses.first().unwrap();
+        let last = report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn conv_net_learns_synthetic_mnist() {
+        let data = SyntheticMnist::generate(200, 50, 22);
+        let mut net = zoo::mc(22);
+        let report = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 10,
+            lr: 0.05,
+        })
+        .fit(&mut net, &data);
+        assert!(
+            report.final_test_accuracy > 0.7,
+            "conv test accuracy too low: {}",
+            report.final_test_accuracy
+        );
+    }
+
+    #[test]
+    fn momentum_trainer_learns() {
+        let data = SyntheticMnist::generate(300, 80, 23);
+        let mut net = zoo::mnist_a(23);
+        let report = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 0.0, // replaced by the optimizer's rate
+        })
+        .with_optimizer(Optimizer::with_momentum(0.05, 0.9))
+        // (synthetic task with 300 samples and 3 epochs)
+        .fit(&mut net, &data);
+        assert!(
+            report.final_test_accuracy > 0.6,
+            "momentum run too weak: {}",
+            report.final_test_accuracy
+        );
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "loss should fall"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_zero_epochs() {
+        let data = SyntheticMnist::generate(10, 10, 1);
+        let mut net = zoo::mnist_a(1);
+        Trainer::new(TrainConfig {
+            epochs: 0,
+            batch_size: 4,
+            lr: 0.1,
+        })
+        .fit(&mut net, &data);
+    }
+}

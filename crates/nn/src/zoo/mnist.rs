@@ -1,0 +1,226 @@
+//! MNIST-scale networks.
+//!
+//! Table 3 of the paper defines four self-built MNIST benchmarks. In the
+//! available text the hyper-parameter cells are OCR-damaged, so we document
+//! our concrete instantiation (chosen to match the paper's prose: Mnist-A/B/C
+//! are multilayer perceptrons of increasing depth/width — "Mnist-C is a
+//! multilayer perceptron network whose weights are all matrices", Sec. 6.3 —
+//! and Mnist-0 is the convolutional one, with the paper's `conv5x` notation):
+//!
+//! | Network | Hyper parameters                               |
+//! |---------|------------------------------------------------|
+//! | Mnist-A | 784-100-10                                     |
+//! | Mnist-B | 784-300-100-10                                 |
+//! | Mnist-C | 784-500-250-100-10                             |
+//! | Mnist-0 | conv5x20, maxpool2, conv5x50, maxpool2, 500-10 |
+//!
+//! Fig. 13's resolution study uses five further networks: M-1, M-2, M-3
+//! (perceptrons) and M-C, C-4 (convolutional, C-4 being the 4-conv-layer
+//! model whose accuracy collapses below ≈4 bits).
+
+use crate::loss::Loss;
+use crate::network::Network;
+use crate::spec::{LayerSpec, NetSpec, PoolKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MNIST_INPUT: (usize, usize, usize) = (1, 28, 28);
+
+fn mlp(name: &str, hidden: &[usize]) -> NetSpec {
+    let mut layers: Vec<LayerSpec> = hidden.iter().map(|&n| LayerSpec::Fc { n_out: n }).collect();
+    layers.push(LayerSpec::Fc { n_out: 10 });
+    NetSpec::new(name, MNIST_INPUT, layers)
+}
+
+/// Table 3 — Mnist-A: 784-100-10.
+pub fn spec_mnist_a() -> NetSpec {
+    mlp("Mnist-A", &[100])
+}
+
+/// Table 3 — Mnist-B: 784-300-100-10.
+pub fn spec_mnist_b() -> NetSpec {
+    mlp("Mnist-B", &[300, 100])
+}
+
+/// Table 3 — Mnist-C: 784-500-250-100-10.
+pub fn spec_mnist_c() -> NetSpec {
+    mlp("Mnist-C", &[500, 250, 100])
+}
+
+/// Table 3 — Mnist-0: conv5x20, pool2, conv5x50, pool2, ip-500, ip-10
+/// (LeNet-style, the paper's `conv5xC` notation).
+pub fn spec_mnist_0() -> NetSpec {
+    NetSpec::new(
+        "Mnist-0",
+        MNIST_INPUT,
+        vec![
+            LayerSpec::Conv { k: 5, c_out: 20, stride: 1, pad: 0 },
+            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Conv { k: 5, c_out: 50, stride: 1, pad: 0 },
+            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Fc { n_out: 500 },
+            LayerSpec::Fc { n_out: 10 },
+        ],
+    )
+}
+
+/// Fig. 13 — M-1: 784-100-10 perceptron.
+pub fn spec_m1() -> NetSpec {
+    mlp("M-1", &[100])
+}
+
+/// Fig. 13 — M-2: 784-300-10 perceptron.
+pub fn spec_m2() -> NetSpec {
+    mlp("M-2", &[300])
+}
+
+/// Fig. 13 — M-3: 784-500-150-10 perceptron.
+pub fn spec_m3() -> NetSpec {
+    mlp("M-3", &[500, 150])
+}
+
+/// Fig. 13 — M-C: small convolutional net (one conv stage + classifier).
+pub fn spec_mc() -> NetSpec {
+    NetSpec::new(
+        "M-C",
+        MNIST_INPUT,
+        vec![
+            LayerSpec::Conv { k: 5, c_out: 8, stride: 1, pad: 0 },
+            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Fc { n_out: 64 },
+            LayerSpec::Fc { n_out: 10 },
+        ],
+    )
+}
+
+/// Fig. 13 — C-4: four convolution layers; the deepest of the resolution
+/// study and the one most sensitive to cell resolution.
+pub fn spec_c4() -> NetSpec {
+    NetSpec::new(
+        "C-4",
+        MNIST_INPUT,
+        vec![
+            LayerSpec::Conv { k: 3, c_out: 8, stride: 1, pad: 1 },
+            LayerSpec::Conv { k: 3, c_out: 8, stride: 1, pad: 1 },
+            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Conv { k: 3, c_out: 16, stride: 1, pad: 1 },
+            LayerSpec::Conv { k: 3, c_out: 16, stride: 1, pad: 1 },
+            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Fc { n_out: 10 },
+        ],
+    )
+}
+
+/// The four Table 3 specs, in order.
+pub fn mnist_net_specs() -> Vec<NetSpec> {
+    vec![spec_mnist_a(), spec_mnist_b(), spec_mnist_c(), spec_mnist_0()]
+}
+
+fn built(spec: NetSpec, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    spec.build(Loss::SoftmaxCrossEntropy, &mut rng)
+}
+
+/// Functional, trainable Mnist-A.
+pub fn mnist_a(seed: u64) -> Network {
+    built(spec_mnist_a(), seed)
+}
+
+/// Functional, trainable Mnist-B.
+pub fn mnist_b(seed: u64) -> Network {
+    built(spec_mnist_b(), seed)
+}
+
+/// Functional, trainable Mnist-C.
+pub fn mnist_c(seed: u64) -> Network {
+    built(spec_mnist_c(), seed)
+}
+
+/// Functional, trainable Mnist-0.
+pub fn mnist_0(seed: u64) -> Network {
+    built(spec_mnist_0(), seed)
+}
+
+/// Functional, trainable M-1.
+pub fn m1(seed: u64) -> Network {
+    built(spec_m1(), seed)
+}
+
+/// Functional, trainable M-2.
+pub fn m2(seed: u64) -> Network {
+    built(spec_m2(), seed)
+}
+
+/// Functional, trainable M-3.
+pub fn m3(seed: u64) -> Network {
+    built(spec_m3(), seed)
+}
+
+/// Functional, trainable M-C.
+pub fn mc(seed: u64) -> Network {
+    built(spec_mc(), seed)
+}
+
+/// Functional, trainable C-4.
+pub fn c4(seed: u64) -> Network {
+    built(spec_c4(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipelayer_tensor::Tensor;
+
+    #[test]
+    fn table3_layer_counts() {
+        assert_eq!(spec_mnist_a().weighted_layers(), 2);
+        assert_eq!(spec_mnist_b().weighted_layers(), 3);
+        assert_eq!(spec_mnist_c().weighted_layers(), 4);
+        assert_eq!(spec_mnist_0().weighted_layers(), 4);
+    }
+
+    #[test]
+    fn mnist_a_geometry() {
+        let layers = spec_mnist_a().resolve();
+        assert_eq!(layers[0].matrix_rows, 785);
+        assert_eq!(layers[0].matrix_cols, 100);
+        assert_eq!(layers[1].matrix_rows, 101);
+        assert_eq!(layers[1].matrix_cols, 10);
+    }
+
+    #[test]
+    fn mnist_0_is_lenet_shaped() {
+        let layers = spec_mnist_0().resolve();
+        assert_eq!(layers[0].out_shape, (20, 24, 24));
+        assert_eq!(layers[1].post_pool_shape, (50, 4, 4));
+        assert_eq!(layers[2].in_shape.0, 800);
+    }
+
+    #[test]
+    fn mlps_have_no_convs() {
+        for spec in [spec_mnist_a(), spec_mnist_b(), spec_mnist_c(), spec_m1(), spec_m2(), spec_m3()] {
+            assert!(spec.is_mlp(), "{} should be an MLP", spec.name);
+        }
+        for spec in [spec_mnist_0(), spec_mc(), spec_c4()] {
+            assert!(!spec.is_mlp(), "{} should be convolutional", spec.name);
+        }
+    }
+
+    #[test]
+    fn c4_has_four_conv_layers() {
+        let convs = spec_c4()
+            .resolve()
+            .iter()
+            .filter(|l| l.is_conv)
+            .count();
+        assert_eq!(convs, 4);
+    }
+
+    #[test]
+    fn built_networks_run_forward() {
+        let x = Tensor::zeros(&[1, 28, 28]);
+        for net in [mnist_a(1), mc(1)] {
+            assert_eq!(net.infer(&x).dims(), &[10]);
+        }
+    }
+}

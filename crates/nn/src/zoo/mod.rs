@@ -1,0 +1,53 @@
+//! The network zoo of the paper's evaluation (Sec. 6.1):
+//!
+//! * **ImageNet-scale** (timed, never executed functionally): AlexNet and
+//!   VGG-A/B/C/D/E — see [`imagenet`].
+//! * **MNIST-scale** (Table 3; executed functionally): Mnist-A, Mnist-B,
+//!   Mnist-C, Mnist-0 — see [`mnist`].
+//! * **Resolution-study networks** (Fig. 13): M-1, M-2, M-3 (MLPs) and
+//!   M-C, C-4 (CNNs) — see [`mnist`].
+
+pub mod imagenet;
+pub mod mnist;
+
+pub use imagenet::{alexnet, vgg, VggVariant};
+pub use mnist::{
+    c4, m1, m2, m3, mc, mnist_0, mnist_a, mnist_b, mnist_c, mnist_net_specs, spec_c4, spec_m1,
+    spec_m2, spec_m3, spec_mc, spec_mnist_0, spec_mnist_a, spec_mnist_b, spec_mnist_c,
+};
+
+use crate::spec::NetSpec;
+
+/// All ten evaluation networks of Fig. 15/16, in the paper's order.
+pub fn evaluation_specs() -> Vec<NetSpec> {
+    let mut v = vec![
+        spec_mnist_a(),
+        spec_mnist_b(),
+        spec_mnist_c(),
+        spec_mnist_0(),
+        alexnet(),
+    ];
+    for variant in VggVariant::ALL {
+        v.push(vgg(variant));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_evaluation_networks() {
+        let specs = evaluation_specs();
+        assert_eq!(specs.len(), 10);
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "Mnist-A", "Mnist-B", "Mnist-C", "Mnist-0", "AlexNet", "VGG-A", "VGG-B", "VGG-C",
+                "VGG-D", "VGG-E"
+            ]
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Resolution compensation (Fig. 14): building 16-bit arithmetic from 4-bit
+//! cells.
+//!
+//! In testing mode the same input drives four groups of 4-bit arrays holding
+//! weight segments `15..12`, `11..8`, `7..4`, `3..0`; the four partial
+//! results are shifted (`<<12, <<8, <<4, <<0`) and added (Fig. 14a). In
+//! training mode the old segments are read, shifted together into the old
+//! weight, updated, and the new segments written back (Fig. 14b). The
+//! functions here implement — and the tests prove — the exactness of that
+//! decomposition.
+
+/// Splits an unsigned magnitude into `ceil(data_bits/cell_bits)` segments,
+/// least significant first.
+///
+/// # Panics
+///
+/// Panics if `cell_bits` is 0 or ≥ 32, or `value` needs more than
+/// `data_bits` bits.
+pub fn split_segments(value: u32, data_bits: u8, cell_bits: u8) -> Vec<u8> {
+    assert!(cell_bits > 0 && cell_bits < 32, "invalid cell resolution");
+    assert!(
+        data_bits == 32 || u64::from(value) < (1u64 << data_bits),
+        "value {value} does not fit in {data_bits} bits"
+    );
+    let n = data_bits.div_ceil(cell_bits);
+    let mask = (1u32 << cell_bits) - 1;
+    (0..n)
+        .map(|g| ((value >> (g * cell_bits)) & mask) as u8)
+        .collect()
+}
+
+/// Recomposes segments into the original value (the shift-add of Fig. 14a).
+pub fn compose_segments(segments: &[u8], cell_bits: u8) -> u32 {
+    segments
+        .iter()
+        .enumerate()
+        .map(|(g, &s)| (s as u32) << (g as u8 * cell_bits))
+        .sum()
+}
+
+/// Computes an integer MVM segment-wise: each weight segment group performs
+/// its own MVM against the same input, and the partial outputs are
+/// shift-added. Returns the composed outputs.
+///
+/// `weights[out][in]` are unsigned magnitudes of at most `data_bits` bits.
+///
+/// # Panics
+///
+/// Panics on ragged input or bit-width violations.
+pub fn segmented_mvm(
+    weights: &[Vec<u32>],
+    input: &[u32],
+    data_bits: u8,
+    cell_bits: u8,
+) -> Vec<u64> {
+    assert!(!weights.is_empty(), "empty weight matrix");
+    let in_dim = weights[0].len();
+    assert!(weights.iter().all(|r| r.len() == in_dim), "ragged weights");
+    assert_eq!(input.len(), in_dim, "input length mismatch");
+
+    let n_groups = data_bits.div_ceil(cell_bits);
+    let mut out = vec![0u64; weights.len()];
+    for g in 0..n_groups {
+        let shift = g * cell_bits;
+        let mask = (1u32 << cell_bits) - 1;
+        for (o, row) in weights.iter().enumerate() {
+            let partial: u64 = row
+                .iter()
+                .zip(input)
+                .map(|(&w, &x)| {
+                    let seg = (w >> shift) & mask;
+                    seg as u64 * x as u64
+                })
+                .sum();
+            out[o] += partial << shift;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig14_example_split() {
+        // 16-bit word into four nibbles W3..W0, LSB first.
+        let segs = split_segments(0xABCD, 16, 4);
+        assert_eq!(segs, vec![0xD, 0xC, 0xB, 0xA]);
+        assert_eq!(compose_segments(&segs, 4), 0xABCD);
+    }
+
+    #[test]
+    fn uneven_split_rounds_up() {
+        let segs = split_segments(0b11111, 5, 2);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(compose_segments(&segs, 2), 0b11111);
+    }
+
+    #[test]
+    fn segmented_mvm_known() {
+        let w = vec![vec![0x00FF, 0x0F00]];
+        let x = vec![2, 3];
+        let got = segmented_mvm(&w, &x, 16, 4);
+        assert_eq!(got, vec![0x00FF * 2 + 0x0F00 * 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn split_compose_roundtrip(v in 0u32..65536) {
+            let segs = split_segments(v, 16, 4);
+            prop_assert_eq!(segs.len(), 4);
+            prop_assert_eq!(compose_segments(&segs, 4), v);
+        }
+
+        /// Fig. 14(a): four 4-bit MVMs with shift-add equal one 16-bit MVM.
+        #[test]
+        fn segmented_mvm_is_exact(seed in 0u64..2000) {
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (out_dim, in_dim) = (rng.random_range(1usize..5), rng.random_range(1usize..5));
+            let w: Vec<Vec<u32>> = (0..out_dim)
+                .map(|_| (0..in_dim).map(|_| rng.random_range(0u32..65536)).collect())
+                .collect();
+            let x: Vec<u32> = (0..in_dim).map(|_| rng.random_range(0u32..65536)).collect();
+            let reference: Vec<u64> = w
+                .iter()
+                .map(|row| row.iter().zip(&x).map(|(&a, &b)| a as u64 * b as u64).sum())
+                .collect();
+            prop_assert_eq!(segmented_mvm(&w, &x, 16, 4), reference);
+        }
+
+        /// The decomposition works for any cell width dividing the data width.
+        #[test]
+        fn any_cell_width(v in 0u32..65536, cell_bits in 1u8..9) {
+            let segs = split_segments(v, 16, cell_bits);
+            prop_assert_eq!(compose_segments(&segs, cell_bits), v);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Quantization-aware training: keeping the weights on the fixed-point
+//! grid *throughout* training.
+//!
+//! PipeLayer does not train in float and quantize afterwards — the weights
+//! live in ReRAM at 16-bit resolution (four 4-bit segments, Fig. 14) from
+//! the first batch to the last, and every update is a read-modify-write on
+//! that grid. This module reproduces that regime in the software framework:
+//! after every batch update the weights are snapped back to the `bits` grid.
+//! At 16 bits this is indistinguishable from float training (validating the
+//! paper's design point); at very low resolutions the updates vanish under
+//! the quantization step and training stalls — the reason resolution
+//! compensation exists at all.
+
+use crate::fixed::Quantizer;
+use crate::qnetwork::quantize_network_weights;
+use pipelayer_nn::data::SyntheticMnist;
+use pipelayer_nn::trainer::TrainConfig;
+use pipelayer_nn::Network;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a quantization-aware training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QatReport {
+    /// Weight resolution used throughout training.
+    pub bits: u8,
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Final test accuracy.
+    pub final_test_accuracy: f32,
+}
+
+/// Trains `net` with its weights held at `bits` resolution: the averaged
+/// update of every batch is applied in float and immediately re-quantized
+/// (the read-modify-write grid of Fig. 14b).
+///
+/// # Panics
+///
+/// Panics on a degenerate config or empty dataset.
+pub fn train_at_resolution(
+    net: &mut Network,
+    data: &SyntheticMnist,
+    cfg: &TrainConfig,
+    bits: u8,
+) -> QatReport {
+    assert!(cfg.epochs > 0 && cfg.batch_size > 0, "degenerate train config");
+    assert!(!data.train.is_empty(), "empty training set");
+    let _ = Quantizer::new(bits); // validate the width eagerly
+
+    // Start from on-grid weights, as Weight_load would program them.
+    quantize_network_weights(net, bits);
+
+    let n = data.train.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let images: Vec<_> = chunk.iter().map(|&i| data.train.images[i].clone()).collect();
+            let labels: Vec<_> = chunk.iter().map(|&i| data.train.labels[i]).collect();
+            loss_sum += net.train_batch(&images, &labels, cfg.lr);
+            // Write-back lands on the cell grid.
+            quantize_network_weights(net, bits);
+            batches += 1;
+        }
+        epoch_losses.push(loss_sum / batches as f32);
+    }
+
+    QatReport {
+        bits,
+        epoch_losses,
+        final_test_accuracy: net.accuracy(&data.test.images, &data.test.labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipelayer_nn::trainer::Trainer;
+    use pipelayer_nn::zoo;
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 0.1,
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_training_matches_float() {
+        let data = SyntheticMnist::generate(300, 100, 77);
+        let mut float_net = zoo::m1(77);
+        let float_report = Trainer::new(cfg()).fit(&mut float_net, &data);
+
+        let mut q_net = zoo::m1(77);
+        let q_report = train_at_resolution(&mut q_net, &data, &cfg(), 16);
+        assert!(
+            (q_report.final_test_accuracy - float_report.final_test_accuracy).abs() < 0.08,
+            "16-bit QAT should match float: {} vs {}",
+            q_report.final_test_accuracy,
+            float_report.final_test_accuracy
+        );
+    }
+
+    #[test]
+    fn two_bit_training_stalls() {
+        // With a 2-bit grid the averaged SGD steps round away to nothing —
+        // the failure mode resolution compensation prevents.
+        let data = SyntheticMnist::generate(300, 100, 78);
+        let mut hi = zoo::m1(78);
+        let hi_acc = train_at_resolution(&mut hi, &data, &cfg(), 16).final_test_accuracy;
+        let mut lo = zoo::m1(78);
+        let lo_acc = train_at_resolution(&mut lo, &data, &cfg(), 2).final_test_accuracy;
+        assert!(
+            lo_acc < hi_acc - 0.1,
+            "2-bit training ({lo_acc}) should clearly trail 16-bit ({hi_acc})"
+        );
+    }
+
+    #[test]
+    fn loss_decreases_at_workable_resolution() {
+        let data = SyntheticMnist::generate(200, 50, 79);
+        let mut net = zoo::m1(79);
+        let report = train_at_resolution(&mut net, &data, &cfg(), 12);
+        assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
+    }
+}

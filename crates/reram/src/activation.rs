@@ -1,0 +1,161 @@
+//! The activation component of Fig. 9(c): a subtractor combining the
+//! positive- and negative-array outputs, a configurable look-up table
+//! realising the activation function, and a register that keeps the running
+//! maximum of a sequence (max pooling).
+
+/// LUT-based activation unit.
+///
+/// The LUT maps a signed fixed-point input code to an output code over a
+/// configurable number of address bits; values between grid points take the
+/// nearest entry. ReLU is exact under this scheme (it is monotone and
+/// piecewise identity), which is why the paper "mainly focuses on ReLU".
+#[derive(Debug, Clone)]
+pub struct ActivationUnit {
+    lut: Vec<f32>,
+    lo: f32,
+    hi: f32,
+    max_register: f32,
+}
+
+impl ActivationUnit {
+    /// Builds a unit whose LUT tabulates `f` over `[lo, hi]` with
+    /// `2^addr_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `addr_bits` is 0 or exceeds 20.
+    pub fn from_fn(f: impl Fn(f32) -> f32, lo: f32, hi: f32, addr_bits: u8) -> Self {
+        assert!(lo < hi, "LUT range must be non-empty");
+        assert!((1..=20).contains(&addr_bits), "addr_bits must be 1..=20");
+        let n = 1usize << addr_bits;
+        let lut = (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f32 / (n - 1) as f32;
+                f(x)
+            })
+            .collect();
+        ActivationUnit {
+            lut,
+            lo,
+            hi,
+            max_register: f32::NEG_INFINITY,
+        }
+    }
+
+    /// A ReLU unit over `[-range, range]` (the paper's default function).
+    pub fn relu(range: f32, addr_bits: u8) -> Self {
+        Self::from_fn(|x| x.max(0.0), -range, range, addr_bits)
+    }
+
+    /// A sigmoid unit over `[-range, range]`.
+    pub fn sigmoid(range: f32, addr_bits: u8) -> Self {
+        Self::from_fn(|x| 1.0 / (1.0 + (-x).exp()), -range, range, addr_bits)
+    }
+
+    /// The subtractor: recombines positive- and negative-array outputs
+    /// (`D_P − D_N`).
+    pub fn subtract(&self, d_p: f32, d_n: f32) -> f32 {
+        d_p - d_n
+    }
+
+    /// Applies the LUT to `x` (nearest-entry lookup, clamped to the range).
+    pub fn apply(&self, x: f32) -> f32 {
+        let n = self.lut.len();
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let idx = (t * (n - 1) as f32).round() as usize;
+        self.lut[idx]
+    }
+
+    /// Full datapath for one element: subtract then activate.
+    pub fn process(&self, d_p: f32, d_n: f32) -> f32 {
+        self.apply(self.subtract(d_p, d_n))
+    }
+
+    /// Feeds the max register (max pooling, Sec. 4.2.3) and returns the
+    /// current maximum.
+    pub fn track_max(&mut self, x: f32) -> f32 {
+        if x > self.max_register {
+            self.max_register = x;
+        }
+        self.max_register
+    }
+
+    /// Reads and clears the max register, returning the window maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was tracked since the last reset.
+    pub fn take_max(&mut self) -> f32 {
+        assert!(
+            self.max_register > f32::NEG_INFINITY,
+            "max register read before any value was tracked"
+        );
+        let m = self.max_register;
+        self.max_register = f32::NEG_INFINITY;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_lut_is_exact_on_grid() {
+        let u = ActivationUnit::relu(8.0, 12);
+        assert_eq!(u.apply(-3.0), 0.0);
+        assert!((u.apply(3.0) - 3.0).abs() < 8.0 * 2.0 / 4096.0);
+        assert_eq!(u.apply(0.0).max(0.0), u.apply(0.0));
+    }
+
+    #[test]
+    fn subtract_and_process() {
+        let u = ActivationUnit::relu(16.0, 12);
+        assert_eq!(u.subtract(5.0, 2.0), 3.0);
+        assert!((u.process(5.0, 2.0) - 3.0).abs() < 0.01);
+        assert_eq!(u.process(2.0, 5.0), 0.0); // negative pre-activation
+    }
+
+    #[test]
+    fn sigmoid_shape() {
+        let u = ActivationUnit::sigmoid(8.0, 12);
+        assert!((u.apply(0.0) - 0.5).abs() < 1e-2);
+        assert!(u.apply(6.0) > 0.95);
+        assert!(u.apply(-6.0) < 0.05);
+    }
+
+    #[test]
+    fn max_register_tracks_window_maximum() {
+        let mut u = ActivationUnit::relu(8.0, 8);
+        for v in [1.0, 4.0, 2.0, 3.0] {
+            u.track_max(v);
+        }
+        assert_eq!(u.take_max(), 4.0);
+        // Register resets between windows.
+        u.track_max(0.5);
+        assert_eq!(u.take_max(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any value")]
+    fn empty_max_register_panics() {
+        ActivationUnit::relu(8.0, 8).take_max();
+    }
+
+    proptest! {
+        #[test]
+        fn relu_lut_error_bounded(x in -8.0f32..8.0) {
+            let u = ActivationUnit::relu(8.0, 12);
+            let step = 16.0 / 4095.0;
+            prop_assert!((u.apply(x) - x.max(0.0)).abs() <= step);
+        }
+
+        #[test]
+        fn apply_clamps_out_of_range(x in 8.0f32..100.0) {
+            let u = ActivationUnit::relu(8.0, 10);
+            prop_assert_eq!(u.apply(x), 8.0);
+            prop_assert_eq!(u.apply(-x), 0.0);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Signed, full-resolution matrices on ReRAM: positive/negative array pairs
+//! plus the resolution-compensation scheme of Fig. 14.
+//!
+//! A 16-bit signed weight matrix is realised as **eight** crossbars:
+//! positive and negative magnitude parts (the subtractor in the activation
+//! component recombines them, Sec. 4.2.3), each split into four 4-bit
+//! segments stored in four array groups whose outputs are shift-added
+//! (`<<0, <<4, <<8, <<12` — Fig. 14a). Weight updates read the old segments,
+//! apply the averaged partial derivative and write all groups back
+//! (Fig. 14b).
+
+use crate::crossbar::Crossbar;
+use crate::energy::ReramParams;
+
+/// A float matrix programmed onto ReRAM crossbars, supporting exact
+/// fixed-point matrix–vector products and in-place weight updates.
+///
+/// Layout: `weights[out][in]` (row-major `[out_dim × in_dim]`, matching an
+/// inner-product layer's `W`), mapped with one bit line per output and one
+/// word line per input.
+///
+/// # Example
+///
+/// ```
+/// use pipelayer_reram::{ReramMatrix, ReramParams};
+///
+/// let w = vec![1.0f32, -0.5, 0.25, 0.75]; // 2x2, row-major
+/// let mut m = ReramMatrix::program(&w, 2, 2, &ReramParams::default());
+/// let y = m.matvec(&[1.0, 1.0]);
+/// assert!((y[0] - 0.5).abs() < 1e-3);
+/// assert!((y[1] - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReramMatrix {
+    in_dim: usize,
+    out_dim: usize,
+    weight_scale: f32,
+    data_bits: u8,
+    cell_bits: u8,
+    /// One `(positive, negative)` crossbar pair per 4-bit segment group,
+    /// least-significant group first.
+    groups: Vec<(Crossbar, Crossbar)>,
+}
+
+impl ReramMatrix {
+    /// Quantizes and programs `weights` (`out_dim × in_dim`, row-major).
+    ///
+    /// The weight scale is chosen so the largest magnitude maps to the full
+    /// signed range of `params.data_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or inconsistent with `weights.len()`,
+    /// or `data_bits` is not a multiple of `cell_bits`.
+    pub fn program(weights: &[f32], out_dim: usize, in_dim: usize, params: &ReramParams) -> Self {
+        assert!(out_dim > 0 && in_dim > 0, "matrix must be non-empty");
+        assert_eq!(weights.len(), out_dim * in_dim, "weight buffer size mismatch");
+        assert_eq!(
+            params.data_bits % params.cell_bits,
+            0,
+            "data bits must be a multiple of cell bits"
+        );
+        let n_groups = (params.data_bits / params.cell_bits) as usize;
+        let mut m = ReramMatrix {
+            in_dim,
+            out_dim,
+            weight_scale: 0.0,
+            data_bits: params.data_bits,
+            cell_bits: params.cell_bits,
+            groups: (0..n_groups)
+                .map(|_| {
+                    (
+                        Crossbar::new(in_dim, out_dim, params.cell_bits),
+                        Crossbar::new(in_dim, out_dim, params.cell_bits),
+                    )
+                })
+                .collect(),
+        };
+        m.write(weights);
+        m
+    }
+
+    /// Input dimension (word lines).
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension (bit lines).
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The LSB value of the stored fixed-point weights.
+    pub fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+
+    fn qmax(&self) -> i64 {
+        (1i64 << (self.data_bits - 1)) - 1
+    }
+
+    /// (Re)programs the matrix — the weight-update write of Fig. 14(b).
+    /// Recomputes the weight scale from the new values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` mismatches the geometry.
+    pub fn write(&mut self, weights: &[f32]) {
+        assert_eq!(weights.len(), self.out_dim * self.in_dim, "weight buffer size mismatch");
+        let absmax = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+        self.weight_scale = if absmax == 0.0 {
+            1.0
+        } else {
+            absmax / self.qmax() as f32
+        };
+        let mask = (1u32 << self.cell_bits) - 1;
+        let (in_dim, out_dim, cell_bits) = (self.in_dim, self.out_dim, self.cell_bits);
+        let (qmax, scale) = (self.qmax(), self.weight_scale);
+        for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
+            let shift = g as u32 * cell_bits as u32;
+            let mut pos_levels = vec![vec![0u8; out_dim]; in_dim];
+            let mut neg_levels = vec![vec![0u8; out_dim]; in_dim];
+            for o in 0..out_dim {
+                for i in 0..in_dim {
+                    let w = weights[o * in_dim + i];
+                    let q = (w / scale).round() as i64;
+                    let q = q.clamp(-qmax, qmax);
+                    let nibble = (((q.unsigned_abs()) >> shift) as u32 & mask) as u8;
+                    if q >= 0 {
+                        pos_levels[i][o] = nibble;
+                    } else {
+                        neg_levels[i][o] = nibble;
+                    }
+                }
+            }
+            pos.program(&pos_levels);
+            neg.program(&neg_levels);
+        }
+    }
+
+    /// Reads the stored (quantized) weights back — the "old weights are read
+    /// out" step of the update path (Sec. 4.4.2).
+    pub fn read(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.out_dim * self.in_dim];
+        for (g, (pos, neg)) in self.groups.iter().enumerate() {
+            let shift = g as u32 * self.cell_bits as u32;
+            for o in 0..self.out_dim {
+                for i in 0..self.in_dim {
+                    let p = pos.level(i, o) as i64;
+                    let n = neg.level(i, o) as i64;
+                    out[o * self.in_dim + i] += ((p - n) << shift) as f32 * self.weight_scale;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fixed-point matrix–vector product `W·x` through the full analog path:
+    /// input quantization (spike driver `V0` scaling), separate
+    /// positive/negative input phases, per-segment crossbar MVMs,
+    /// shift-add recombination and positive/negative subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()`.
+    pub fn matvec(&mut self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "input length mismatch");
+        let absmax = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if absmax == 0.0 {
+            return vec![0.0; self.out_dim];
+        }
+        let in_qmax = ((1u64 << self.data_bits) - 1) as f32 / 2.0;
+        let x_scale = absmax / in_qmax;
+        let q: Vec<i64> = x
+            .iter()
+            .map(|&v| (v / x_scale).round() as i64)
+            .collect();
+
+        let mut acc = vec![0i64; self.out_dim];
+        for sign in [1i64, -1] {
+            let phase: Vec<u32> = q
+                .iter()
+                .map(|&v| if v * sign > 0 { (v * sign) as u32 } else { 0 })
+                .collect();
+            if phase.iter().all(|&v| v == 0) {
+                continue;
+            }
+            for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
+                let shift = g as u32 * self.cell_bits as u32;
+                let yp = pos.mvm_spiked(&phase, self.data_bits);
+                let yn = neg.mvm_spiked(&phase, self.data_bits);
+                for (a, (&p, &n)) in acc.iter_mut().zip(yp.iter().zip(&yn)) {
+                    // Subtractor (activation component) + segment shift-add.
+                    *a += sign * ((p as i64 - n as i64) << shift);
+                }
+            }
+        }
+        acc.iter()
+            .map(|&a| a as f32 * self.weight_scale * x_scale)
+            .collect()
+    }
+
+    /// Total input (read) spikes across all member crossbars.
+    pub fn read_spikes(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|(p, n)| p.read_spikes() + n.read_spikes())
+            .sum()
+    }
+
+    /// Total programming pulses across all member crossbars.
+    pub fn write_spikes(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|(p, n)| p.write_spikes() + n.write_spikes())
+            .sum()
+    }
+
+    /// Number of physical crossbars backing this matrix.
+    pub fn crossbar_count(&self) -> usize {
+        self.groups.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference(w: &[f32], out: usize, inp: usize, x: &[f32]) -> Vec<f32> {
+        (0..out)
+            .map(|o| (0..inp).map(|i| w[o * inp + i] * x[i]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let w = vec![1.0, 0.0, 0.0, 1.0];
+        let mut m = ReramMatrix::program(&w, 2, 2, &ReramParams::default());
+        let y = m.matvec(&[0.3, -0.7]);
+        assert!((y[0] - 0.3).abs() < 1e-3 && (y[1] + 0.7).abs() < 1e-3, "{y:?}");
+    }
+
+    #[test]
+    fn read_recovers_quantized_weights() {
+        let w = vec![0.5, -0.25, 0.125, 1.0, -1.0, 0.0];
+        let m = ReramMatrix::program(&w, 2, 3, &ReramParams::default());
+        let r = m.read();
+        for (a, b) in w.iter().zip(&r) {
+            assert!((a - b).abs() < 2.0 * m.weight_scale(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn update_reprograms() {
+        let mut m = ReramMatrix::program(&[1.0, 1.0, 1.0, 1.0], 2, 2, &ReramParams::default());
+        let before = m.write_spikes();
+        m.write(&[0.5, -0.5, 0.25, -0.25]);
+        assert!(m.write_spikes() > before, "update must issue write pulses");
+        let y = m.matvec(&[1.0, 0.0]);
+        assert!((y[0] - 0.5).abs() < 1e-2 && (y[1] - 0.25).abs() < 1e-2, "{y:?}");
+    }
+
+    #[test]
+    fn eight_crossbars_for_16bit_weights() {
+        let m = ReramMatrix::program(&[1.0], 1, 1, &ReramParams::default());
+        assert_eq!(m.crossbar_count(), 8); // 4 segment groups × (pos, neg)
+    }
+
+    #[test]
+    fn zero_input_shortcircuits() {
+        let mut m = ReramMatrix::program(&[1.0, 2.0], 2, 1, &ReramParams::default());
+        assert_eq!(m.matvec(&[0.0]), vec![0.0, 0.0]);
+        assert_eq!(m.read_spikes(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The full analog path approximates the float MVM within the
+        /// fixed-point error bound.
+        #[test]
+        fn matvec_matches_float_reference(seed in 0u64..500) {
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (out, inp) = (rng.random_range(1usize..6), rng.random_range(1usize..6));
+            let w: Vec<f32> = (0..out * inp).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            let x: Vec<f32> = (0..inp).map(|_| rng.random_range(-2.0f32..2.0)).collect();
+            let mut m = ReramMatrix::program(&w, out, inp, &ReramParams::default());
+            let got = m.matvec(&x);
+            let want = reference(&w, out, inp, &x);
+            // Error bound: per-term quantization error ~ (|x| eps_w + |w| eps_x).
+            let tol = 1e-3 * (1.0 + inp as f32);
+            for (g, wnt) in got.iter().zip(&want) {
+                prop_assert!((g - wnt).abs() < tol, "got {g}, want {wnt}");
+            }
+        }
+    }
+}

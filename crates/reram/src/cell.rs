@@ -1,0 +1,116 @@
+//! The multi-level ReRAM cell.
+
+/// One metal-oxide ReRAM cell storing `bits` bits as one of `2^bits`
+/// discrete conductance levels.
+///
+/// The paper's default resolution is 4 bits per cell (Sec. 5.1) — the value
+/// PRIME-era devices demonstrated — with higher weight resolutions built
+/// from multiple cells (see [`array_group`](crate::array_group)).
+///
+/// # Example
+///
+/// ```
+/// use pipelayer_reram::ReramCell;
+///
+/// let mut cell = ReramCell::new(4);
+/// let pulses = cell.program(9);
+/// assert_eq!(cell.level(), 9);
+/// assert_eq!(pulses, 9); // tuned up from level 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReramCell {
+    level: u8,
+    bits: u8,
+}
+
+impl ReramCell {
+    /// A fresh cell at level 0 (high-resistance state).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "cell resolution must be 1..=8 bits");
+        ReramCell { level: 0, bits }
+    }
+
+    /// Cell resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Current conductance level, `0 ..= 2^bits - 1`.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Maximum representable level.
+    pub fn max_level(&self) -> u8 {
+        ((1u16 << self.bits) - 1) as u8
+    }
+
+    /// Programs the cell to `level`, returning the number of tuning pulses
+    /// (write spikes) the spike driver issues — modelled as the level
+    /// distance, since each pulse nudges the conductance one state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the cell's resolution.
+    pub fn program(&mut self, level: u8) -> u32 {
+        assert!(
+            level <= self.max_level(),
+            "level {level} exceeds {}-bit cell",
+            self.bits
+        );
+        let pulses = (self.level as i32 - level as i32).unsigned_abs();
+        self.level = level;
+        pulses
+    }
+
+    /// Normalised conductance in `[0, 1]`: `level / max_level`.
+    pub fn conductance(&self) -> f32 {
+        self.level as f32 / self.max_level() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_is_hrs() {
+        let c = ReramCell::new(4);
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.conductance(), 0.0);
+        assert_eq!(c.max_level(), 15);
+    }
+
+    #[test]
+    fn program_counts_pulses_by_distance() {
+        let mut c = ReramCell::new(4);
+        assert_eq!(c.program(15), 15);
+        assert_eq!(c.program(10), 5);
+        assert_eq!(c.program(10), 0);
+    }
+
+    #[test]
+    fn conductance_scales_linearly() {
+        let mut c = ReramCell::new(2);
+        c.program(3);
+        assert_eq!(c.conductance(), 1.0);
+        c.program(1);
+        assert!((c.conductance() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_overrange_level() {
+        ReramCell::new(4).program(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn rejects_zero_bits() {
+        ReramCell::new(0);
+    }
+}

@@ -1,0 +1,229 @@
+//! A single ReRAM crossbar array performing in-situ matrix–vector
+//! multiplication through the spike/integrate-and-fire path.
+
+use crate::cell::ReramCell;
+use crate::integrate_fire::IntegrateFire;
+use crate::spike::{SpikeDriver, SpikeTrain};
+
+/// A `rows × cols` crossbar of multi-level cells.
+///
+/// Word lines carry the (spike-coded) input vector; each bit line sums the
+/// currents of its column's cells, so column `c` computes
+/// `Σ_r input[r] · level[r][c]` exactly — verified against plain integer
+/// arithmetic by property tests.
+///
+/// The struct also counts input/output/programming spikes, the quantities
+/// the energy model (Sec. 6.2 constants) is built on.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    cells: Vec<ReramCell>, // row-major
+    read_spikes: u64,
+    write_spikes: u64,
+    output_spikes: u64,
+}
+
+impl Crossbar {
+    /// Creates an all-zero (high-resistance) crossbar of `bits`-bit cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero, or `bits` is out of range.
+    pub fn new(rows: usize, cols: usize, bits: u8) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar must be non-empty");
+        Crossbar {
+            rows,
+            cols,
+            cells: vec![ReramCell::new(bits); rows * cols],
+            read_spikes: 0,
+            write_spikes: 0,
+            output_spikes: 0,
+        }
+    }
+
+    /// Word-line count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bit-line count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell resolution in bits.
+    pub fn cell_bits(&self) -> u8 {
+        self.cells[0].bits()
+    }
+
+    /// Level of the cell at `(row, col)`.
+    pub fn level(&self, row: usize, col: usize) -> u8 {
+        self.cells[row * self.cols + col].level()
+    }
+
+    /// Programs the whole array from a row-major level matrix; counts the
+    /// tuning pulses as write spikes. Returns the pulse count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is not `rows × cols` or any level is over-range.
+    pub fn program(&mut self, levels: &[Vec<u8>]) -> u64 {
+        assert_eq!(levels.len(), self.rows, "level matrix row count mismatch");
+        let mut pulses = 0u64;
+        for (r, row) in levels.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "level matrix column count mismatch");
+            for (c, &lvl) in row.iter().enumerate() {
+                pulses += self.cells[r * self.cols + c].program(lvl) as u64;
+            }
+        }
+        self.write_spikes += pulses;
+        pulses
+    }
+
+    /// In-situ MVM via the spike path: encodes `input` with an `input_bits`
+    /// spike driver, streams the slots through the array, integrates the
+    /// weighted bitline currents and fires. Returns the exact products
+    /// `out[c] = Σ_r input[r]·level[r][c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or a value exceeds `input_bits`.
+    pub fn mvm_spiked(&mut self, input: &[u32], input_bits: u8) -> Vec<u64> {
+        assert_eq!(input.len(), self.rows, "input length must equal row count");
+        let driver = SpikeDriver::new(input_bits);
+        let trains: Vec<SpikeTrain> = driver.encode_vector(input);
+        self.read_spikes += trains.iter().map(|t| t.spike_count() as u64).sum::<u64>();
+
+        let mut fires: Vec<IntegrateFire> = vec![IntegrateFire::new(); self.cols];
+        // Stream time slots (LSB first); within a slot all word lines drive
+        // their bitlines simultaneously — the analog accumulation.
+        for slot in 0..input_bits as usize {
+            let w = SpikeTrain::slot_weight(slot);
+            for (r, train) in trains.iter().enumerate() {
+                if !train.fires(slot) {
+                    continue;
+                }
+                let base = r * self.cols;
+                for (c, inf) in fires.iter_mut().enumerate() {
+                    let g = self.cells[base + c].level() as u64;
+                    if g != 0 {
+                        inf.integrate(g * w);
+                    }
+                }
+            }
+        }
+        let out: Vec<u64> = fires.iter_mut().map(|f| f.fire()).collect();
+        self.output_spikes += out.iter().sum::<u64>();
+        out
+    }
+
+    /// Input spikes consumed so far.
+    pub fn read_spikes(&self) -> u64 {
+        self.read_spikes
+    }
+
+    /// Programming pulses issued so far.
+    pub fn write_spikes(&self) -> u64 {
+        self.write_spikes
+    }
+
+    /// Output spikes fired so far.
+    pub fn output_spikes(&self) -> u64 {
+        self.output_spikes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_mvm(levels: &[Vec<u8>], input: &[u32]) -> Vec<u64> {
+        let cols = levels[0].len();
+        (0..cols)
+            .map(|c| {
+                levels
+                    .iter()
+                    .zip(input)
+                    .map(|(row, &x)| row[c] as u64 * x as u64)
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mvm_known_values() {
+        let mut xbar = Crossbar::new(3, 2, 4);
+        let levels = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        xbar.program(&levels);
+        let out = xbar.mvm_spiked(&[7, 8, 9], 8);
+        assert_eq!(out, vec![7 + 24 + 45, 14 + 32 + 54]);
+    }
+
+    #[test]
+    fn spike_accounting() {
+        let mut xbar = Crossbar::new(2, 2, 4);
+        xbar.program(&[vec![15, 15], vec![15, 15]]);
+        assert_eq!(xbar.write_spikes(), 60);
+        xbar.mvm_spiked(&[0b101, 0b1], 4);
+        assert_eq!(xbar.read_spikes(), 3); // popcounts 2 + 1
+        assert!(xbar.output_spikes() > 0);
+    }
+
+    #[test]
+    fn zero_input_zero_output() {
+        let mut xbar = Crossbar::new(4, 4, 4);
+        xbar.program(&[vec![15; 4], vec![15; 4], vec![15; 4], vec![15; 4]]);
+        assert_eq!(xbar.mvm_spiked(&[0; 4], 16), vec![0; 4]);
+        assert_eq!(xbar.read_spikes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn program_rejects_bad_shape() {
+        Crossbar::new(2, 2, 4).program(&[vec![0, 0]]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The analog spike path computes exactly the integer MVM.
+        #[test]
+        fn spiked_mvm_is_exact(
+            rows in 1usize..8,
+            cols in 1usize..8,
+            seed in 0u64..1000,
+        ) {
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let levels: Vec<Vec<u8>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.random_range(0u8..16)).collect())
+                .collect();
+            let input: Vec<u32> = (0..rows).map(|_| rng.random_range(0u32..65536)).collect();
+            let mut xbar = Crossbar::new(rows, cols, 4);
+            xbar.program(&levels);
+            prop_assert_eq!(xbar.mvm_spiked(&input, 16), reference_mvm(&levels, &input));
+        }
+
+        /// MVM is linear in the input: f(a) + f(b) == f(a+b).
+        #[test]
+        fn mvm_linearity(seed in 0u64..1000) {
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let levels: Vec<Vec<u8>> = (0..4)
+                .map(|_| (0..3).map(|_| rng.random_range(0u8..16)).collect())
+                .collect();
+            let a: Vec<u32> = (0..4).map(|_| rng.random_range(0u32..1 << 14)).collect();
+            let b: Vec<u32> = (0..4).map(|_| rng.random_range(0u32..1 << 14)).collect();
+            let sum: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+            let mut xbar = Crossbar::new(4, 3, 4);
+            xbar.program(&levels);
+            let fa = xbar.mvm_spiked(&a, 16);
+            let fb = xbar.mvm_spiked(&b, 16);
+            let fs = xbar.mvm_spiked(&sum, 16);
+            let added: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+            prop_assert_eq!(fs, added);
+        }
+    }
+}

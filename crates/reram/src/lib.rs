@@ -1,0 +1,61 @@
+//! ReRAM substrate for the PipeLayer reproduction.
+//!
+//! PipeLayer computes matrix–vector multiplications *inside* metal-oxide
+//! ReRAM crossbars (Sec. 2.3, 4.2 of the paper). This crate models that
+//! substrate, bottom-up:
+//!
+//! * [`cell`] — a multi-level (default 4-bit) ReRAM cell with discrete
+//!   conductance states and programming.
+//! * [`spike`] — the weighted spike coding scheme of Fig. 9(a): an `N`-bit
+//!   input becomes `N` time slots, LSB first, slot `i` carrying weight `2^i`.
+//!   Eliminates DACs.
+//! * [`integrate_fire`] — the integrate-and-fire converter of Fig. 9(b):
+//!   bitline current charges a capacitor; comparator spikes are counted.
+//!   Eliminates ADCs.
+//! * [`crossbar`] — a single crossbar array combining the above into an
+//!   exact fixed-point MVM.
+//! * [`array_group`] — signed, full-resolution matrices built from
+//!   positive/negative array pairs and the four 4-bit segment groups of the
+//!   resolution-compensation scheme (Fig. 14).
+//! * [`activation`] — the activation component of Fig. 9(c): subtractor,
+//!   configurable LUT (ReLU by default) and the max register used for
+//!   pooling.
+//! * [`partition`] — tiling of large kernel matrices onto fixed-size arrays
+//!   (the balanced scheme of Fig. 5).
+//! * [`energy`] / [`area`] — NVSim-derived timing/energy constants
+//!   (29.31 ns / 50.88 ns and 1.08 pJ / 3.91 nJ per read/write spike) and the
+//!   area model.
+//!
+//! # Example: exact crossbar MVM
+//!
+//! ```
+//! use pipelayer_reram::crossbar::Crossbar;
+//!
+//! // 2x2 array of 4-bit cells.
+//! let mut xbar = Crossbar::new(2, 2, 4);
+//! xbar.program(&[vec![3, 1], vec![2, 15]]);
+//! let out = xbar.mvm_spiked(&[10, 100], 8);
+//! assert_eq!(out, vec![3 * 10 + 2 * 100, 1 * 10 + 15 * 100]);
+//! ```
+
+pub mod activation;
+pub mod area;
+pub mod array_group;
+pub mod cell;
+pub mod crossbar;
+pub mod energy;
+pub mod integrate_fire;
+pub mod partition;
+pub mod spike;
+pub mod subarray;
+pub mod variation;
+
+pub use area::AreaModel;
+pub use array_group::ReramMatrix;
+pub use cell::ReramCell;
+pub use crossbar::Crossbar;
+pub use energy::{EnergyCounter, ReramParams};
+pub use integrate_fire::IntegrateFire;
+pub use partition::tile_grid;
+pub use subarray::{MorphableSubarray, SubarrayMode};
+pub use variation::VariationModel;

@@ -1,0 +1,174 @@
+//! Dense matrix products.
+
+use crate::Tensor;
+
+/// Matrix–matrix product `A (m×k) · B (k×n) → (m×n)`.
+///
+/// Uses an ikj loop order so the inner loop streams both `B` and the output
+/// row — good enough for the MNIST-scale functional simulations this
+/// reproduction executes (large nets are only *timed*, never executed).
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow) {
+                *o += aip * bpj;
+            }
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Matrix–vector product `W (m×n) · x (n) → (m)`.
+///
+/// # Panics
+///
+/// Panics if `w` is not rank-2, `x` is not rank-1, or sizes disagree.
+pub fn matvec(w: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(w.shape().rank(), 2, "matvec matrix must be rank-2");
+    assert_eq!(x.shape().rank(), 1, "matvec vector must be rank-1");
+    let (m, n) = (w.dims()[0], w.dims()[1]);
+    assert_eq!(n, x.dims()[0], "matvec size mismatch");
+    let wv = w.as_slice();
+    let xv = x.as_slice();
+    let out: Vec<f32> = (0..m)
+        .map(|i| {
+            wv[i * n..(i + 1) * n]
+                .iter()
+                .zip(xv)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        })
+        .collect();
+    Tensor::from_vec(&[m], out)
+}
+
+/// Transposed matrix–vector product `Wᵀ (n×m) · y (m) → (n)`, without
+/// materialising the transpose. This is the backward-error product
+/// `δ_l = Wᵀ δ_{l+1}` of Sec. 2.2.
+///
+/// # Panics
+///
+/// Panics if `w` is not rank-2, `y` is not rank-1, or sizes disagree.
+pub fn matvec_transposed(w: &Tensor, y: &Tensor) -> Tensor {
+    assert_eq!(w.shape().rank(), 2, "matvec_transposed matrix must be rank-2");
+    assert_eq!(y.shape().rank(), 1, "matvec_transposed vector must be rank-1");
+    let (m, n) = (w.dims()[0], w.dims()[1]);
+    assert_eq!(m, y.dims()[0], "matvec_transposed size mismatch");
+    let wv = w.as_slice();
+    let yv = y.as_slice();
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        let yi = yv[i];
+        if yi == 0.0 {
+            continue;
+        }
+        for (o, &wij) in out.iter_mut().zip(&wv[i * n..(i + 1) * n]) {
+            *o += wij * yi;
+        }
+    }
+    Tensor::from_vec(&[n], out)
+}
+
+/// Outer product `y (m) · xᵀ (n) → (m×n)` — the fully-connected weight
+/// gradient `∂J/∂W = δ dᵀ` of Sec. 2.2.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-1.
+pub fn outer(y: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(y.shape().rank(), 1, "outer lhs must be rank-1");
+    assert_eq!(x.shape().rank(), 1, "outer rhs must be rank-1");
+    let (m, n) = (y.dims()[0], x.dims()[0]);
+    let yv = y.as_slice();
+    let xv = x.as_slice();
+    let mut out = Vec::with_capacity(m * n);
+    for &yi in yv {
+        out.extend(xv.iter().map(|&xj| yi * xj));
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let i3 = Tensor::from_fn(&[3, 3], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        let a = Tensor::from_fn(&[3, 3], |i| (i[0] * 3 + i[1]) as f32);
+        assert!(matmul(&i3, &a).allclose(&a, 1e-6));
+        assert!(matmul(&a, &i3).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, -1.0, 2.0, 2.0, 2.0]);
+        let x = Tensor::from_vec(&[3], vec![3.0, 4.0, 5.0]);
+        let y = matvec(&w, &x);
+        assert_eq!(y.as_slice(), &[-2.0, 24.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let w = Tensor::from_fn(&[4, 3], |i| (i[0] as f32) - (i[1] as f32) * 0.5);
+        let y = Tensor::from_vec(&[4], vec![1.0, -2.0, 0.5, 3.0]);
+        let got = matvec_transposed(&w, &y);
+        // Explicit transpose.
+        let wt = Tensor::from_fn(&[3, 4], |i| w[[i[1], i[0]]]);
+        let want = matvec(&wt, &y);
+        assert!(got.allclose(&want, 1e-6));
+    }
+
+    #[test]
+    fn outer_known() {
+        let y = Tensor::from_vec(&[2], vec![2.0, 3.0]);
+        let x = Tensor::from_vec(&[3], vec![1.0, 0.0, -1.0]);
+        let o = outer(&y, &x);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[2.0, 0.0, -2.0, 3.0, 0.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn matmul_associates_with_matvec() {
+        // (A·B)·x == A·(B·x)
+        let a = Tensor::from_fn(&[3, 4], |i| ((i[0] + 1) * (i[1] + 2)) as f32 * 0.1);
+        let b = Tensor::from_fn(&[4, 2], |i| (i[0] as f32) - (i[1] as f32));
+        let x = Tensor::from_vec(&[2], vec![0.5, -1.5]);
+        let lhs = matvec(&matmul(&a, &b), &x);
+        let rhs = matvec(&a, &matvec(&b, &x));
+        assert!(lhs.allclose(&rhs, 1e-4));
+    }
+}

@@ -1,0 +1,217 @@
+//! The im2col lowering: turns convolution into a matrix product.
+//!
+//! This is precisely the data-input scheme of Fig. 4 of the paper: at each
+//! kernel-window position the `K_x·K_y·C_l` input patch becomes one column
+//! vector (the "yellow bar") that is fed to the crossbar holding the kernel
+//! matrix. PipeLayer's intra-layer parallelism (Sec. 3.2) is a hardware
+//! parallelisation of exactly this loop, so the lowering is shared between
+//! the software reference and the accelerator's functional model.
+
+use super::conv::conv_output_len;
+use super::gemm::matmul;
+use crate::Tensor;
+
+/// Lowers `input [C,H,W]` into a patch matrix of shape
+/// `[H_out·W_out, C·Kh·Kw]`: row `p` is the flattened receptive field of
+/// output position `p` (row-major over `oy, ox`), column order `(c, ky, kx)`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-3 or the window does not fit.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(input.shape().rank(), 3, "im2col expects [C,H,W]");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let ho = conv_output_len(h, kh, stride, pad);
+    let wo = conv_output_len(w, kw, stride, pad);
+    let cols = c * kh * kw;
+    let mut out = Tensor::zeros(&[ho * wo, cols]);
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = oy * wo + ox;
+            let mut col = 0usize;
+            for ci in 0..c {
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            out[[row, col]] = input[[ci, iy as usize, ix as usize]];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`im2col`]: scatters (accumulating) a patch matrix back into an
+/// image of shape `[C,H,W]`. Overlapping patch positions sum, which makes
+/// this the adjoint operator needed for gradient computations.
+///
+/// # Panics
+///
+/// Panics if `cols` is not rank-2 or its shape is inconsistent with the
+/// geometry parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    assert_eq!(cols.shape().rank(), 2, "col2im expects a rank-2 patch matrix");
+    let ho = conv_output_len(h, kh, stride, pad);
+    let wo = conv_output_len(w, kw, stride, pad);
+    assert_eq!(cols.dims()[0], ho * wo, "col2im row count mismatch");
+    assert_eq!(cols.dims()[1], c * kh * kw, "col2im column count mismatch");
+    let mut img = Tensor::zeros(&[c, h, w]);
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = oy * wo + ox;
+            let mut col = 0usize;
+            for ci in 0..c {
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            img[[ci, iy as usize, ix as usize]] += cols[[row, col]];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// Convolution forward via im2col + GEMM. Numerically identical to
+/// [`conv2d`](super::conv2d) (up to float associativity) and considerably
+/// faster for the MNIST-scale functional runs.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`conv2d`](super::conv2d).
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    assert_eq!(weight.shape().rank(), 4, "weight must be [Cout,Cin,Kh,Kw]");
+    let (c_out, c_in, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(input.dims()[0], c_in, "channel mismatch");
+    let h = input.dims()[1];
+    let w = input.dims()[2];
+    let ho = conv_output_len(h, kh, stride, pad);
+    let wo = conv_output_len(w, kw, stride, pad);
+
+    let patches = im2col(input, kh, kw, stride, pad); // [P, C*Kh*Kw]
+    let wmat = weight.reshape(&[c_out, c_in * kh * kw]); // [Cout, C*Kh*Kw]
+    // out[P, Cout] = patches · wmatᵀ ; compute as (wmat · patchesᵀ)ᵀ without
+    // materialising transposes: iterate P rows.
+    let wt = Tensor::from_fn(&[c_in * kh * kw, c_out], |i| wmat[[i[1], i[0]]]);
+    let prod = matmul(&patches, &wt); // [P, Cout]
+
+    let mut out = Tensor::zeros(&[c_out, ho, wo]);
+    for p in 0..ho * wo {
+        let (oy, ox) = (p / wo, p % wo);
+        for co in 0..c_out {
+            out[[co, oy, ox]] = prod[[p, co]] + bias.as_slice()[co];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conv::conv2d;
+    use super::*;
+
+    #[test]
+    fn im2col_known_patch() {
+        let x = Tensor::from_fn(&[1, 3, 3], |i| (i[1] * 3 + i[2]) as f32);
+        let cols = im2col(&x, 2, 2, 1, 0);
+        assert_eq!(cols.dims(), &[4, 4]);
+        // First patch (top-left 2x2): 0,1,3,4
+        assert_eq!(
+            &cols.as_slice()[0..4],
+            &[0.0, 1.0, 3.0, 4.0],
+            "first patch wrong"
+        );
+    }
+
+    #[test]
+    fn im2col_zero_pads() {
+        let x = Tensor::ones(&[1, 2, 2]);
+        let cols = im2col(&x, 3, 3, 1, 1);
+        // 4 output positions; each 3x3 patch has exactly 4 ones (the image).
+        assert_eq!(cols.dims(), &[4, 9]);
+        for p in 0..4 {
+            let s: f32 = (0..9).map(|c| cols[[p, c]]).sum();
+            assert_eq!(s, 4.0);
+        }
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        let x = Tensor::from_fn(&[3, 7, 7], |i| ((i[0] * 49 + i[1] * 7 + i[2]) as f32 * 0.11).sin());
+        let w = Tensor::from_fn(&[4, 3, 3, 3], |i| {
+            ((i[0] * 27 + i[1] * 9 + i[2] * 3 + i[3]) as f32 * 0.07).cos()
+        });
+        let b = Tensor::from_vec(&[4], vec![0.1, -0.2, 0.3, 0.0]);
+        for (stride, pad) in [(1, 0), (1, 1), (2, 1), (2, 0)] {
+            let direct = conv2d(&x, &w, &b, stride, pad);
+            let lowered = conv2d_im2col(&x, &w, &b, stride, pad);
+            assert!(
+                direct.allclose(&lowered, 1e-4),
+                "mismatch at stride={stride} pad={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let x = Tensor::from_fn(&[2, 5, 5], |i| ((i[0] + i[1] + i[2]) as f32 * 0.29).sin());
+        let cols = im2col(&x, 3, 3, 2, 1);
+        let y = Tensor::from_fn(cols.dims(), |i| ((i[0] * 3 + i[1]) as f32 * 0.13).cos());
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let yi = col2im(&y, 2, 5, 5, 3, 3, 2, 1);
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(yi.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn patch_rows_equal_kernel_window_positions() {
+        // The number of sequential input vectors of Fig. 4: a 24x24x28 layer
+        // produced from 5x5 kernels over 28x28 input has 576 positions.
+        let x = Tensor::zeros(&[1, 28, 28]);
+        let cols = im2col(&x, 5, 5, 1, 0);
+        assert_eq!(cols.dims()[0], 24 * 24);
+        assert_eq!(cols.dims()[1], 25);
+    }
+}

@@ -1,0 +1,16 @@
+//! Numerical kernels: GEMM, 2-D convolution (forward and both backward
+//! passes), pooling, and the im2col lowering used to run convolutions as
+//! matrix products — the same lowering PipeLayer uses to map kernels onto
+//! crossbar columns (Fig. 4 of the paper).
+
+mod conv;
+mod gemm;
+mod im2col;
+mod pool;
+
+pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weights, conv_output_len, rot180};
+pub use gemm::{matmul, matvec, matvec_transposed, outer};
+pub use im2col::{col2im, conv2d_im2col, im2col};
+pub use pool::{
+    avgpool2d, avgpool2d_backward, maxpool2d, maxpool2d_backward, pool_output_len, PoolIndices,
+};

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and ablation into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(fig6_schedule fig7_latency fig13_resolution fig15_speedup fig16_energy \
+      fig17_lambda_speedup fig18_lambda_area table1_operations table2_cycles \
+      table3_networks table5_granularity sec66_efficiency \
+      ablation_variation ablation_training_resolution ablation_batch ablation_adc)
+for b in "${BINS[@]}"; do
+    echo "== $b =="
+    cargo run --release -q -p pipelayer-bench --bin "$b" -- ${QUICK:+--quick} \
+        | tee "results/$b.txt"
+    echo
+done
+echo "outputs written to results/"

@@ -1,0 +1,3 @@
+//! Workspace umbrella crate: hosts the runnable examples under `examples/`
+//! and the cross-crate integration tests under `tests/`. See the individual
+//! `pipelayer-*` crates for the actual library code.

@@ -1,0 +1,119 @@
+//! End-to-end fidelity: the same learning task solved by (a) the float
+//! training framework and (b) the functional ReRAM datapath, and the parity
+//! between the two.
+
+use pipelayer::functional::{downsample, ReramMlp};
+use pipelayer_nn::data::SyntheticMnist;
+use pipelayer_nn::layers::{Linear, Relu};
+use pipelayer_nn::{Loss, Network};
+use pipelayer_reram::ReramParams;
+use pipelayer_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_task(seed: u64) -> (Vec<Tensor>, Vec<usize>, Vec<Tensor>, Vec<usize>) {
+    let data = SyntheticMnist::generate(200, 80, seed);
+    let ds = |v: &[Tensor]| -> Vec<Tensor> { v.iter().map(|t| downsample(t, 4)).collect() };
+    (
+        ds(&data.train.images),
+        data.train.labels.clone(),
+        ds(&data.test.images),
+        data.test.labels.clone(),
+    )
+}
+
+#[test]
+fn reram_training_tracks_float_training() {
+    let (tr, trl, te, tel) = small_task(404);
+
+    // Float reference.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut float_net = Network::new("float", Loss::SoftmaxCrossEntropy);
+    float_net.push(Linear::new(49, 20, &mut rng));
+    float_net.push(Relu::new());
+    float_net.push(Linear::new(20, 10, &mut rng));
+
+    // ReRAM datapath (independent init; we compare task outcomes).
+    let mut reram = ReramMlp::new(&[49, 20, 10], &ReramParams::default(), 5);
+
+    for _ in 0..4 {
+        for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)) {
+            float_net.train_batch(imgs, labs, 0.25);
+            reram.train_batch(imgs, labs, 0.25);
+        }
+    }
+
+    let float_acc = float_net.accuracy(&te, &tel);
+    let reram_acc = reram.accuracy(&te, &tel);
+    assert!(float_acc > 0.55, "float reference failed to learn: {float_acc}");
+    assert!(reram_acc > 0.5, "ReRAM datapath failed to learn: {reram_acc}");
+    assert!(
+        (float_acc - reram_acc).abs() < 0.25,
+        "fixed-point training should track float: {float_acc} vs {reram_acc}"
+    );
+}
+
+#[test]
+fn reram_forward_agrees_with_float_network_carrying_same_weights() {
+    // Read the (quantized) weights back from the crossbars (the Fig. 14b
+    // read-out path), mirror them into a float network, and require
+    // matching predictions.
+    let mut reram = ReramMlp::new(&[16, 12, 4], &ReramParams::default(), 11);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut float_net = Network::new("mirror", Loss::SoftmaxCrossEntropy);
+    float_net.push(Linear::new(16, 12, &mut rng));
+    float_net.push(Relu::new());
+    float_net.push(Linear::new(12, 4, &mut rng));
+
+    let mut li = 0usize;
+    for layer in float_net.layers_mut() {
+        if let Some(p) = layer.params_mut() {
+            let (n_in, n_out) = reram.layer_dims(li);
+            let w = reram.layer_weights(li); // [out x (in+1)], bias last
+            assert_eq!(p.weight.dims(), [n_out, n_in]);
+            for o in 0..n_out {
+                for i in 0..n_in {
+                    p.weight.as_mut_slice()[o * n_in + i] = w[o * (n_in + 1) + i];
+                }
+                p.bias.as_mut_slice()[o] = w[o * (n_in + 1) + n_in];
+            }
+            li += 1;
+        }
+    }
+
+    let mut agree = 0;
+    let total = 50;
+    for k in 0..total {
+        let x: Vec<f32> = (0..16).map(|i| ((i + k) as f32 * 0.37).sin()).collect();
+        let xt = Tensor::from_vec(&[16], x.clone());
+        if reram.predict(&x) == float_net.predict(&xt) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 10 >= total * 9,
+        "crossbar and float predictions should agree: {agree}/{total}"
+    );
+}
+
+#[test]
+fn weight_updates_are_visible_in_array_readback() {
+    // Train one batch and confirm the arrays physically changed (Fig. 14b
+    // write-back), while an untouched layer's readback stays stable under
+    // repeated reads.
+    let (tr, trl, _, _) = small_task(42);
+    let mut mlp = ReramMlp::new(&[49, 8, 10], &ReramParams::default(), 21);
+    let before = mlp.layer_weights(0);
+    let again = mlp.layer_weights(0);
+    assert_eq!(before, again, "read-out must be non-destructive");
+
+    mlp.train_batch(&tr[..10], &trl[..10], 0.5);
+    let after = mlp.layer_weights(0);
+    let moved = before
+        .iter()
+        .zip(&after)
+        .filter(|(a, b)| (*a - *b).abs() > 1e-6)
+        .count();
+    assert!(moved > 0, "training must reprogram cells");
+}

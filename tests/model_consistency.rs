@@ -1,0 +1,104 @@
+//! Cross-crate consistency of the architecture models: the cycle-accurate
+//! simulator, the closed-form analysis, the mapping and the figure-level
+//! sweeps must all agree for every evaluation network.
+
+use pipelayer::analysis::Analysis;
+use pipelayer::config::PipeLayerConfig;
+use pipelayer::granularity::{default_granularity, scale_lambda};
+use pipelayer::mapping::MappedNetwork;
+use pipelayer::perf::PerfModel;
+use pipelayer::pipeline::PipelineSim;
+use pipelayer::Accelerator;
+use pipelayer_nn::zoo;
+
+#[test]
+fn simulator_matches_formula_for_every_evaluation_network() {
+    for spec in zoo::evaluation_specs() {
+        let l = spec.weighted_layers();
+        let b = 64usize;
+        let sim = PipelineSim::new(l, b).simulate_training(1, 0, 0);
+        let formula = Analysis::new(l, b).training_cycles_pipelined(b as u64);
+        assert_eq!(sim.cycles, formula, "{}", spec.name);
+        assert_eq!(sim.dependency_violations, 0, "{}", spec.name);
+        assert_eq!(sim.peak_parallel_stages, 2 * l + 1, "{}", spec.name);
+    }
+}
+
+#[test]
+fn estimates_scale_linearly_in_workload() {
+    let accel = Accelerator::builder(zoo::vgg(zoo::VggVariant::C)).batch_size(64).build();
+    let t1 = accel.estimate_training(640);
+    let t2 = accel.estimate_training(1280);
+    assert!((t2.time_s / t1.time_s - 2.0).abs() < 0.01);
+    assert!((t2.energy_j / t1.energy_j - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn larger_lambda_never_slows_any_vgg() {
+    for variant in zoo::VggVariant::ALL {
+        let spec = zoo::vgg(variant);
+        let mut last = f64::INFINITY;
+        for lambda in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let accel = Accelerator::builder(spec.clone()).batch_size(64).lambda(lambda).build();
+            let t = accel.estimate_training(640).time_s;
+            assert!(
+                t <= last * 1.0001,
+                "{} slowed down at lambda={lambda}: {t} > {last}",
+                spec.name
+            );
+            last = t;
+        }
+    }
+}
+
+#[test]
+fn lambda_area_and_speed_tradeoff_is_monotone() {
+    let spec = zoo::vgg(zoo::VggVariant::B);
+    let layers = spec.resolve();
+    let g = default_granularity(&layers);
+    let mut last_area = 0.0;
+    for lambda in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let gl = scale_lambda(&g, lambda, &layers);
+        let net = MappedNetwork::with_granularity(&spec, &gl, PipeLayerConfig::default());
+        let area = net.total_crossbars_training();
+        assert!(area as f64 >= last_area, "area must not shrink with lambda");
+        last_area = area as f64;
+    }
+}
+
+#[test]
+fn batch_size_amortises_fill_overhead() {
+    let spec = zoo::vgg(zoo::VggVariant::A);
+    let mut last = f64::INFINITY;
+    for batch in [8usize, 32, 128, 512] {
+        let accel = Accelerator::builder(spec.clone()).batch_size(batch).build();
+        let per_image = accel.estimate_training(4096).time_s / 4096.0;
+        assert!(
+            per_image < last,
+            "larger batch should amortise the 2L+1 fill: {per_image} !< {last}"
+        );
+        last = per_image;
+    }
+}
+
+#[test]
+fn nonpipelined_time_uses_same_cycle_length() {
+    let net = MappedNetwork::from_spec(&zoo::spec_mnist_0(), PipeLayerConfig::default());
+    let perf = PerfModel::new(&net);
+    let pipe = perf.training(640, true);
+    let seq = perf.training(640, false);
+    assert_eq!(pipe.cycle_ns, seq.cycle_ns, "both share the hardware cycle");
+    assert!(seq.cycles > pipe.cycles);
+}
+
+#[test]
+fn testing_deployment_never_larger_than_training() {
+    for spec in zoo::evaluation_specs() {
+        let accel = Accelerator::builder(spec.clone()).batch_size(64).build();
+        assert!(
+            accel.testing_area_mm2() < accel.training_area_mm2(),
+            "{}",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's headline claims, checked end-to-end against the full model
+//! stack (networks → mapping → timing/energy/area → baselines).
+
+use pipelayer::Accelerator;
+use pipelayer_baselines::dadiannao::{DADIANNAO, ISAAC};
+use pipelayer_baselines::GpuModel;
+use pipelayer_nn::zoo;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|&x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn workloads() -> Vec<(pipelayer_nn::NetSpec, u64)> {
+    zoo::evaluation_specs()
+        .into_iter()
+        .map(|s| {
+            let n = if s.input.1 <= 32 { 6400 } else { 640 };
+            (s, n)
+        })
+        .collect()
+}
+
+#[test]
+fn every_network_speeds_up_over_gpu() {
+    let gpu = GpuModel::default();
+    for (spec, n) in workloads() {
+        let accel = Accelerator::builder(spec.clone()).batch_size(64).build();
+        let s_train = gpu.training(&spec, n, 64).time_s / accel.estimate_training(n).time_s;
+        let s_test = gpu.testing(&spec, n, 64).time_s / accel.estimate_testing(n).time_s;
+        assert!(s_train > 1.0, "{} trains slower than GPU: {s_train}", spec.name);
+        assert!(s_test > 1.0, "{} tests slower than GPU: {s_test}", spec.name);
+    }
+}
+
+#[test]
+fn speedup_geomeans_in_paper_band() {
+    // Paper: overall/testing geomean 42.45x. We accept the same order of
+    // magnitude (half to double).
+    let gpu = GpuModel::default();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (spec, n) in workloads() {
+        let accel = Accelerator::builder(spec.clone()).batch_size(64).build();
+        train.push(gpu.training(&spec, n, 64).time_s / accel.estimate_training(n).time_s);
+        test.push(gpu.testing(&spec, n, 64).time_s / accel.estimate_testing(n).time_s);
+    }
+    let g_test = geomean(&test);
+    let g_train = geomean(&train);
+    assert!(
+        (21.0..85.0).contains(&g_test),
+        "testing speedup geomean {g_test} outside the paper band (42.45x ±2x)"
+    );
+    // Sec. 6.3: training speedups are lower than testing speedups.
+    assert!(
+        g_train < g_test,
+        "training geomean {g_train} should trail testing {g_test}"
+    );
+}
+
+#[test]
+fn mnist_c_beats_alexnet_in_training_speedup() {
+    // Sec. 6.3: "the speedup of Mnist-C is larger than AlexNet in training
+    // ... because Mnist-C is a multilayer perceptron network".
+    let gpu = GpuModel::default();
+    let s = |spec: pipelayer_nn::NetSpec, n: u64| {
+        let accel = Accelerator::builder(spec.clone()).batch_size(64).build();
+        gpu.training(&spec, n, 64).time_s / accel.estimate_training(n).time_s
+    };
+    let mnist_c = s(zoo::spec_mnist_c(), 6400);
+    let alexnet = s(zoo::alexnet(), 640);
+    assert!(
+        mnist_c > alexnet,
+        "Mnist-C training speedup ({mnist_c:.1}) should exceed AlexNet's ({alexnet:.1})"
+    );
+}
+
+#[test]
+fn energy_savings_in_paper_band() {
+    // Paper: geomean energy savings 6.52x (train) / 7.88x (test) / 7.17x
+    // overall; the reproduction should land within ~2x of those and keep
+    // training below testing.
+    let gpu = GpuModel::default();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (spec, n) in workloads() {
+        let accel = Accelerator::builder(spec.clone()).batch_size(64).build();
+        train.push(gpu.training(&spec, n, 64).energy_j / accel.estimate_training(n).energy_j);
+        test.push(gpu.testing(&spec, n, 64).energy_j / accel.estimate_testing(n).energy_j);
+    }
+    let (g_train, g_test) = (geomean(&train), geomean(&test));
+    assert!((3.0..20.0).contains(&g_train), "train energy geomean {g_train}");
+    assert!((4.0..25.0).contains(&g_test), "test energy geomean {g_test}");
+    assert!(g_train < g_test, "training saving should trail testing");
+    // MLPs save far more than VGGs (Fig. 16's shape).
+    assert!(test[0] > 5.0 * test[9], "Mnist-A should dwarf VGG-E in saving");
+}
+
+#[test]
+fn area_matches_published_value() {
+    let accel = Accelerator::builder(zoo::alexnet()).batch_size(64).build();
+    let area = accel.training_area_mm2();
+    assert!(
+        (area - 82.6).abs() < 2.0,
+        "calibrated AlexNet training area {area} should sit at the published 82.6 mm^2"
+    );
+}
+
+#[test]
+fn efficiency_orderings_hold() {
+    // Sec. 6.6: computational efficiency above ISAAC and DaDianNao; power
+    // efficiency below both eDRAM-buffered designs.
+    use pipelayer::area::{training_area, AreaModel};
+    use pipelayer::config::PipeLayerConfig;
+    use pipelayer::mapping::MappedNetwork;
+    use pipelayer::perf::PerfModel;
+
+    let net = MappedNetwork::from_spec(&zoo::alexnet(), PipeLayerConfig::default());
+    let perf = PerfModel::new(&net);
+    let gops = perf.training_gops(6400);
+    let area = training_area(&net, &AreaModel::default()).mm2;
+    let power = perf.training(6400, true).power_w();
+
+    let compute_eff = gops / area;
+    let power_eff = gops / power;
+    assert!(compute_eff > ISAAC.gops_per_mm2, "compute efficiency {compute_eff}");
+    assert!(compute_eff > DADIANNAO.gops_per_mm2);
+    assert!(power_eff < DADIANNAO.gops_per_w, "power efficiency {power_eff}");
+    assert!(power_eff < ISAAC.gops_per_w);
+}
+
+#[test]
+fn pipeline_beats_nonpipelined_by_large_factor() {
+    // Fig. 15: pipelined PipeLayer is roughly an order of magnitude above
+    // the non-pipelined variant.
+    for (spec, n) in workloads() {
+        let pipe = Accelerator::builder(spec.clone()).batch_size(64).build();
+        let nopipe = Accelerator::builder(spec.clone())
+            .batch_size(64)
+            .pipelined(false)
+            .build();
+        let ratio = nopipe.estimate_training(n).time_s / pipe.estimate_training(n).time_s;
+        // The theoretical ceiling is (2L+1)B/(2L+B+1) (Fig. 7); require at
+        // least 60% of it (the rest is the differently-timed update cycle).
+        let limit = pipelayer::analysis::Analysis::new(spec.weighted_layers(), 64)
+            .training_pipeline_speedup_limit();
+        assert!(
+            ratio > 0.6 * limit,
+            "{}: pipeline ratio {ratio} below 60% of the {limit} ceiling",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests over the architecture models: randomized network
+//! shapes must preserve the invariants the paper's design rests on.
+
+use pipelayer::analysis::Analysis;
+use pipelayer::config::PipeLayerConfig;
+use pipelayer::energy::EnergyModel;
+use pipelayer::mapping::MappedNetwork;
+use pipelayer::pipeline::PipelineSim;
+use pipelayer::timing::TimingModel;
+use pipelayer_nn::{LayerSpec, NetSpec};
+use proptest::prelude::*;
+
+/// A random small CNN spec: 1–3 conv blocks then 1–2 FC layers.
+fn arb_spec() -> impl Strategy<Value = NetSpec> {
+    (
+        1usize..=3,           // conv blocks
+        1usize..=2,           // fc layers
+        prop::sample::select(vec![16usize, 20, 28, 32]), // input side
+        1usize..=8,           // base channels
+    )
+        .prop_map(|(blocks, fcs, side, ch)| {
+            let mut layers = Vec::new();
+            let mut c = ch;
+            for _ in 0..blocks {
+                layers.push(LayerSpec::Conv { k: 3, c_out: c * 2, stride: 1, pad: 1 });
+                layers.push(LayerSpec::Pool {
+                    k: 2,
+                    stride: 2,
+                    kind: pipelayer_nn::spec::PoolKind::Max,
+                });
+                c *= 2;
+            }
+            for f in 0..fcs {
+                layers.push(LayerSpec::Fc {
+                    n_out: if f + 1 == fcs { 10 } else { 64 },
+                });
+            }
+            NetSpec::new("prop", (1, side, side), layers)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// More replication never lengthens the cycle; less never shortens it.
+    #[test]
+    fn cycle_time_monotone_in_granularity(spec in arb_spec()) {
+        let resolved = spec.resolve();
+        let g1: Vec<usize> = vec![1; resolved.len()];
+        let g2: Vec<usize> = resolved
+            .iter()
+            .map(|l| l.window_positions.max(1))
+            .collect();
+        let cfg = PipeLayerConfig::default();
+        let m1 = MappedNetwork::with_granularity(&spec, &g1, cfg);
+        let m2 = MappedNetwork::with_granularity(&spec, &g2, cfg);
+        let c1 = TimingModel::new(&m1).cycle_testing_ns();
+        let c2 = TimingModel::new(&m2).cycle_testing_ns();
+        prop_assert!(c2 <= c1, "max replication must not be slower: {c2} vs {c1}");
+    }
+
+    /// Training is never cheaper than testing, in cycles, time or energy.
+    #[test]
+    fn training_dominates_testing(spec in arb_spec()) {
+        let m = MappedNetwork::from_spec(&spec, PipeLayerConfig::with_batch(16));
+        let e = EnergyModel::new(&m);
+        prop_assert!(e.training_energy_j(64) >= e.testing_energy_j(64));
+        let t = TimingModel::new(&m);
+        prop_assert!(t.cycle_training_ns() >= t.cycle_testing_ns());
+    }
+
+    /// The simulator and the closed form agree for every random shape.
+    #[test]
+    fn simulator_agrees_with_formula(spec in arb_spec(), b in 1usize..32) {
+        let l = spec.weighted_layers();
+        let out = PipelineSim::new(l, b).simulate_training(1, 0, 0);
+        prop_assert_eq!(out.cycles, Analysis::new(l, b).training_cycles_pipelined(b as u64));
+        prop_assert_eq!(out.dependency_violations, 0);
+    }
+
+    /// Array counts are monotone: a deeper network never needs fewer
+    /// crossbars than its prefix.
+    #[test]
+    fn crossbars_monotone_in_depth(spec in arb_spec()) {
+        let cfg = PipeLayerConfig::default();
+        let full = MappedNetwork::from_spec(&spec, cfg);
+        // Drop the last weighted layer (keep at least one).
+        let mut layers = spec.layers.clone();
+        while let Some(last) = layers.last() {
+            let weighted = !matches!(last, LayerSpec::Pool { .. });
+            layers.pop();
+            if weighted {
+                break;
+            }
+        }
+        if layers.iter().any(|l| !matches!(l, LayerSpec::Pool { .. })) {
+            while matches!(layers.last(), Some(LayerSpec::Pool { .. })) {
+                layers.pop();
+            }
+            let prefix_spec = NetSpec::new("prefix", spec.input, layers);
+            let prefix = MappedNetwork::from_spec(&prefix_spec, cfg);
+            prop_assert!(
+                prefix.forward_crossbars() <= full.forward_crossbars(),
+                "prefix needs more arrays than the full network"
+            );
+        }
+    }
+
+    /// Energy is exactly linear in the image count.
+    #[test]
+    fn energy_linear(spec in arb_spec(), k in 1u64..8) {
+        let m = MappedNetwork::from_spec(&spec, PipeLayerConfig::with_batch(8));
+        let e = EnergyModel::new(&m);
+        let one = e.testing_energy_j(8);
+        let many = e.testing_energy_j(8 * k);
+        prop_assert!((many - one * k as f64).abs() < 1e-9 * many.abs().max(1.0));
+    }
+}
