@@ -193,7 +193,9 @@ mod tests {
     #[test]
     fn vgg_a_inference_band() {
         let gpu = GpuModel::default();
-        let ips = gpu.testing(&zoo::vgg(zoo::VggVariant::A), 640, 64).throughput(640);
+        let ips = gpu
+            .testing(&zoo::vgg(zoo::VggVariant::A), 640, 64)
+            .throughput(640);
         assert!(
             (100.0..600.0).contains(&ips),
             "VGG-A inference {ips} img/s implausible for a GTX 1080"
@@ -207,8 +209,8 @@ mod tests {
         let run = gpu.testing(&spec, 6400, 64);
         // Pure compute would take ~1 µs/batch; fixed overheads dominate.
         let per_batch = run.time_s / 100.0;
-        let overhead = gpu.framework_overhead_s
-            + 2.0 * gpu.kernels_per_layer * gpu.launch_overhead_s;
+        let overhead =
+            gpu.framework_overhead_s + 2.0 * gpu.kernels_per_layer * gpu.launch_overhead_s;
         assert!(
             overhead / per_batch > 0.8,
             "expected overhead-dominated batch: {overhead} vs {per_batch}"

@@ -75,8 +75,7 @@ impl IsaacModel {
         let batches = n_images.div_ceil(batch as u64) as f64;
         // Forward + backward traversal: double depth, double work.
         let fill_drain = 2.0 * self.depth(spec) as f64 * self.stage_ns;
-        let per_batch =
-            fill_drain + (batch as f64 * 2.0 - 1.0) * self.initiation_interval_ns();
+        let per_batch = fill_drain + (batch as f64 * 2.0 - 1.0) * self.initiation_interval_ns();
         batches * per_batch * 1e-9
     }
 
@@ -84,8 +83,7 @@ impl IsaacModel {
     /// the quantity PipeLayer's layer-granular pipeline avoids.
     pub fn training_drain_fraction(&self, spec: &NetSpec, batch: usize) -> f64 {
         let fill_drain = 2.0 * self.depth(spec) as f64 * self.stage_ns;
-        let per_batch =
-            fill_drain + (batch as f64 * 2.0 - 1.0) * self.initiation_interval_ns();
+        let per_batch = fill_drain + (batch as f64 * 2.0 - 1.0) * self.initiation_interval_ns();
         fill_drain / per_batch
     }
 }

@@ -201,10 +201,14 @@ mod tests {
     fn network_energy_ordering_holds() {
         let m = PeripheralModel::default();
         let spec = pipelayer_nn::zoo::spec_mnist_0();
-        let e_if = m.network_forward_energy_pj(&spec, PeripheralScheme::SpikeIntegrateFire, 128, 16);
+        let e_if =
+            m.network_forward_energy_pj(&spec, PeripheralScheme::SpikeIntegrateFire, 128, 16);
         let e_adc = m.network_forward_energy_pj(&spec, PeripheralScheme::SpikeAdc, 128, 16);
         let e_dac = m.network_forward_energy_pj(&spec, PeripheralScheme::DacAdc, 128, 16);
-        assert!(e_if < e_adc && e_if < e_dac, "I&F must be cheapest: {e_if} {e_adc} {e_dac}");
+        assert!(
+            e_if < e_adc && e_if < e_dac,
+            "I&F must be cheapest: {e_if} {e_adc} {e_dac}"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@ use pipelayer_tensor::{ops, Tensor};
 use std::hint::black_box;
 
 fn probe_input() -> (Tensor, Tensor, Tensor) {
-    let x = Tensor::from_fn(&[8, 28, 28], |i| ((i[0] * 784 + i[1] * 28 + i[2]) as f32 * 0.017).sin());
+    let x = Tensor::from_fn(&[8, 28, 28], |i| {
+        ((i[0] * 784 + i[1] * 28 + i[2]) as f32 * 0.017).sin()
+    });
     let w = Tensor::from_fn(&[16, 8, 3, 3], |i| {
         ((i[0] * 72 + i[1] * 9 + i[2] * 3 + i[3]) as f32 * 0.093).cos() * 0.2
     });
@@ -28,7 +30,15 @@ fn bench_conv_backward(c: &mut Criterion) {
     let (x, w, b) = probe_input();
     let delta = ops::conv2d(&x, &w, &b, 1, 1);
     c.bench_function("conv2d_backward_input", |bch| {
-        bch.iter(|| black_box(ops::conv2d_backward_input(black_box(&delta), &w, (28, 28), 1, 1)))
+        bch.iter(|| {
+            black_box(ops::conv2d_backward_input(
+                black_box(&delta),
+                &w,
+                (28, 28),
+                1,
+                1,
+            ))
+        })
     });
     c.bench_function("conv2d_backward_weights", |bch| {
         bch.iter(|| {
@@ -57,7 +67,9 @@ fn bench_gemm(c: &mut Criterion) {
 }
 
 fn bench_pooling(c: &mut Criterion) {
-    let x = Tensor::from_fn(&[16, 24, 24], |i| ((i[0] + i[1] * 5 + i[2]) as f32 * 0.03).sin());
+    let x = Tensor::from_fn(&[16, 24, 24], |i| {
+        ((i[0] + i[1] * 5 + i[2]) as f32 * 0.03).sin()
+    });
     c.bench_function("maxpool2d_16x24x24", |bch| {
         bch.iter(|| black_box(ops::maxpool2d(black_box(&x), 2, 2)))
     });

@@ -43,7 +43,11 @@ fn main() {
         "Peripheral energy per forward pass (pJ)",
         &["network", "spike+I&F", "spike+ADC", "DAC+ADC"],
     );
-    for spec in [zoo::spec_mnist_0(), zoo::alexnet(), zoo::vgg(zoo::VggVariant::D)] {
+    for spec in [
+        zoo::spec_mnist_0(),
+        zoo::alexnet(),
+        zoo::vgg(zoo::VggVariant::D),
+    ] {
         let row: Vec<String> = SCHEMES
             .iter()
             .map(|&s| fmt_si(m.network_forward_energy_pj(&spec, s, 128, 16) * 1e-12 * 1e12))

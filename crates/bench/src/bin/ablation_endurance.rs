@@ -43,11 +43,11 @@ fn main() {
         zoo::vgg(zoo::VggVariant::D),
     ] {
         let net = MappedNetwork::from_spec(&spec, PipeLayerConfig::default());
-        let lifetimes: Vec<_> = models.iter().map(|(_, m)| training_lifetime(&net, m)).collect();
-        let mut row = vec![
-            spec.name.clone(),
-            fmt_f(lifetimes[0].updates_per_second, 1),
-        ];
+        let lifetimes: Vec<_> = models
+            .iter()
+            .map(|(_, m)| training_lifetime(&net, m))
+            .collect();
+        let mut row = vec![spec.name.clone(), fmt_f(lifetimes[0].updates_per_second, 1)];
         row.extend(lifetimes.iter().map(|l| human_time(l.seconds)));
         table.row(row);
     }

@@ -31,7 +31,10 @@ fn main() {
     let mut headers = vec!["network".to_string(), "float".to_string()];
     headers.extend(BITS.iter().map(|b| format!("{b}-bit")));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut table = Table::new("Ablation: final test accuracy when TRAINING at N-bit weights", &hrefs);
+    let mut table = Table::new(
+        "Ablation: final test accuracy when TRAINING at N-bit weights",
+        &hrefs,
+    );
 
     for (name, build) in [
         ("M-1", zoo::m1 as fn(u64) -> pipelayer_nn::Network),
@@ -39,7 +42,10 @@ fn main() {
     ] {
         let mut float_net = build(2718);
         let float_report = Trainer::new(cfg).fit(&mut float_net, &data);
-        let mut row = vec![name.to_string(), fmt_f(float_report.final_test_accuracy as f64, 3)];
+        let mut row = vec![
+            name.to_string(),
+            fmt_f(float_report.final_test_accuracy as f64, 3),
+        ];
         for &bits in &BITS {
             let mut net = build(2718);
             let report = train_at_resolution(&mut net, &data, &cfg, bits);

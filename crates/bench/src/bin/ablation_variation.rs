@@ -8,8 +8,8 @@
 //!
 //! Run with `--release` (training included). `--quick` shrinks the budget.
 
-use pipelayer::variation::variation_sweep;
 use pipelayer::variation::corrupt_network;
+use pipelayer::variation::variation_sweep;
 use pipelayer_bench::{fmt_f, Table};
 use pipelayer_nn::data::SyntheticMnist;
 use pipelayer_nn::trainer::{TrainConfig, Trainer};
@@ -46,7 +46,10 @@ fn main() {
         })
         .fit(&mut net, &data);
         let points = variation_sweep(&mut net, &data.test, &SIGMAS, 3, &params);
-        let mut row = vec![name.to_string(), fmt_f(report.final_test_accuracy as f64, 3)];
+        let mut row = vec![
+            name.to_string(),
+            fmt_f(report.final_test_accuracy as f64, 3),
+        ];
         row.extend(points.iter().map(|p| fmt_f(p.normalized as f64, 3)));
         table.row(row);
     }

@@ -11,12 +11,12 @@
 //! Run with `--release`; training five networks takes a couple of minutes
 //! in debug mode. Pass `--quick` for a reduced dataset/epoch budget.
 
+use pipelayer_bench::{fmt_f, Table};
 use pipelayer_nn::data::SyntheticMnist;
 use pipelayer_nn::trainer::{TrainConfig, Trainer};
 use pipelayer_nn::zoo;
 use pipelayer_nn::Network;
 use pipelayer_quant::resolution_sweep;
-use pipelayer_bench::{fmt_f, Table};
 
 const BITS: [u8; 7] = [8, 7, 6, 5, 4, 3, 2];
 
@@ -25,7 +25,8 @@ fn main() {
     let (n_train, n_test, epochs) = if quick { (600, 200, 3) } else { (2000, 500, 6) };
     let data = SyntheticMnist::generate(n_train, n_test, 1213);
 
-    let nets: Vec<(&str, Box<dyn Fn(u64) -> Network>)> = vec![
+    type NetBuilder = Box<dyn Fn(u64) -> Network>;
+    let nets: Vec<(&str, NetBuilder)> = vec![
         ("M-1", Box::new(zoo::m1)),
         ("M-2", Box::new(zoo::m2)),
         ("M-3", Box::new(zoo::m3)),
@@ -55,10 +56,7 @@ fn main() {
         );
 
         let points = resolution_sweep(&mut net, &data.test, &BITS);
-        let mut row = vec![
-            name.to_string(),
-            fmt_f(points[0].accuracy as f64, 3),
-        ];
+        let mut row = vec![name.to_string(), fmt_f(points[0].accuracy as f64, 3)];
         row.extend(points[1..].iter().map(|p| fmt_f(p.normalized as f64, 3)));
         table.row(row);
     }

@@ -24,7 +24,10 @@ fn main() {
 
     let mut headers = vec!["network"];
     headers.extend(lambdas.iter().map(|(n, _)| *n));
-    let mut table = Table::new("Figure 17: training speedup vs parallelism granularity", &headers);
+    let mut table = Table::new(
+        "Figure 17: training speedup vs parallelism granularity",
+        &headers,
+    );
 
     for variant in VggVariant::ALL {
         let spec = vgg(variant);

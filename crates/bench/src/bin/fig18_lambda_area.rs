@@ -18,7 +18,10 @@ fn main() {
 
     let mut headers = vec!["network"];
     headers.extend(lambdas.iter().map(|(n, _)| *n));
-    let mut table = Table::new("Figure 18: training-configuration area (mm^2) vs granularity", &headers);
+    let mut table = Table::new(
+        "Figure 18: training-configuration area (mm^2) vs granularity",
+        &headers,
+    );
 
     for variant in VggVariant::ALL {
         let spec = vgg(variant);

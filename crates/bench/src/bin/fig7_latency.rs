@@ -7,7 +7,14 @@ use pipelayer_bench::{fmt_f, Table};
 fn main() {
     let mut table = Table::new(
         "Figure 7: cycles per batch, non-pipelined vs pipelined",
-        &["L", "B", "(2L+1)B+1", "2L+B+1", "speedup", "limit (2L+1)B/(2L+B+1)"],
+        &[
+            "L",
+            "B",
+            "(2L+1)B+1",
+            "2L+B+1",
+            "speedup",
+            "limit (2L+1)B/(2L+B+1)",
+        ],
     );
     for l in [3usize, 8, 11, 13, 16, 19] {
         for b in [16usize, 64, 256] {
@@ -27,5 +34,7 @@ fn main() {
     table.print();
     println!();
     println!("the pipelined batch costs fill (2L+1) + stream (B-1) + update (1) cycles (Fig. 7b);");
-    println!("for B >> L the pipeline approaches the ideal 2L+1 speedup over sequential execution.");
+    println!(
+        "for B >> L the pipeline approaches the ideal 2L+1 speedup over sequential execution."
+    );
 }

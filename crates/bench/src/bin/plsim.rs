@@ -87,7 +87,8 @@ fn usage() -> ExitCode {
 
 fn build(args: &Args) -> Result<Accelerator, String> {
     let name = args.get("net").ok_or("missing --net <name>")?;
-    let spec = spec_by_name(name).ok_or_else(|| format!("unknown network `{name}` (try `plsim list`)"))?;
+    let spec =
+        spec_by_name(name).ok_or_else(|| format!("unknown network `{name}` (try `plsim list`)"))?;
     let batch: usize = args.get_parsed("batch", 64)?;
     let lambda: f64 = args.get_parsed("lambda", 1.0)?;
     Ok(Accelerator::builder(spec)
@@ -104,7 +105,10 @@ fn run() -> Result<(), String> {
 
     match cmd.as_str() {
         "list" => {
-            let mut t = Table::new("evaluation networks", &["name", "layers", "weights (M)", "fwd GOP/img"]);
+            let mut t = Table::new(
+                "evaluation networks",
+                &["name", "layers", "weights (M)", "fwd GOP/img"],
+            );
             for s in zoo::evaluation_specs() {
                 t.row(vec![
                     s.name.clone(),
@@ -150,7 +154,14 @@ fn run() -> Result<(), String> {
             let g_test = gpu.testing(accel.spec(), images, batch as usize);
             let mut t = Table::new(
                 format!("{} | {} images", accel.spec().name, images),
-                &["phase", "time (ms)", "energy (J)", "img/s", "GPU speedup", "GPU saving"],
+                &[
+                    "phase",
+                    "time (ms)",
+                    "energy (J)",
+                    "img/s",
+                    "GPU speedup",
+                    "GPU saving",
+                ],
             );
             t.row(vec![
                 "training".into(),
@@ -169,7 +180,10 @@ fn run() -> Result<(), String> {
                 fmt_f(g_test.energy_j / test.energy_j, 2),
             ]);
             t.print();
-            println!("area: {:.1} mm^2 (training deployment)", accel.training_area_mm2());
+            println!(
+                "area: {:.1} mm^2 (training deployment)",
+                accel.training_area_mm2()
+            );
         }
         "report" => {
             let accel = build(&args)?;
@@ -183,7 +197,10 @@ fn run() -> Result<(), String> {
             let layers = spec.resolve();
             let g = pipelayer::granularity::optimize_granularity(&layers, budget);
             let mut t = Table::new(
-                format!("compiler-optimized G: {} (replication budget {budget} crossbars)", spec.name),
+                format!(
+                    "compiler-optimized G: {} (replication budget {budget} crossbars)",
+                    spec.name
+                ),
                 &["layer", "P", "G", "reads/cycle"],
             );
             for (l, &gl) in layers.iter().zip(&g) {

@@ -53,7 +53,10 @@ fn main() {
         "area: {:.1} mm^2 ({} crossbars); paper: {PIPELAYER_AREA_MM2} mm^2",
         area.mm2, area.crossbars
     );
-    println!("sustained training throughput: {gops:.1} GOPS at {:.1} W", est.power_w());
+    println!(
+        "sustained training throughput: {gops:.1} GOPS at {:.1} W",
+        est.power_w()
+    );
     println!();
     println!("paper shape: PipeLayer's computational efficiency beats both baselines");
     println!("(no ADCs, storage arrays double as compute arrays), while its power");

@@ -8,7 +8,13 @@ use pipelayer_nn::zoo;
 fn main() {
     let mut table = Table::new(
         "Table 3: MNIST network hyper-parameters",
-        &["network", "hyper parameters", "weighted layers", "weights", "fwd ops/image"],
+        &[
+            "network",
+            "hyper parameters",
+            "weighted layers",
+            "weights",
+            "fwd ops/image",
+        ],
     );
     let describe = |spec: &pipelayer_nn::NetSpec| -> String {
         let mut parts: Vec<String> = vec![format!(

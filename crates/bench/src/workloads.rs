@@ -19,7 +19,11 @@ pub fn evaluation_workloads() -> Vec<(NetSpec, u64)> {
     zoo::evaluation_specs()
         .into_iter()
         .map(|spec| {
-            let n = if spec.input.1 <= 32 { N_MNIST } else { N_IMAGENET };
+            let n = if spec.input.1 <= 32 {
+                N_MNIST
+            } else {
+                N_IMAGENET
+            };
             (spec, n)
         })
         .collect()
@@ -32,7 +36,12 @@ mod tests {
     #[test]
     fn workloads_are_batch_multiples() {
         for (spec, n) in evaluation_workloads() {
-            assert_eq!(n % BATCH as u64, 0, "{} workload not a batch multiple", spec.name);
+            assert_eq!(
+                n % BATCH as u64,
+                0,
+                "{} workload not a batch multiple",
+                spec.name
+            );
         }
     }
 

@@ -40,7 +40,10 @@ impl fmt::Display for AcceleratorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AcceleratorError::NotAnMlp(name) => {
-                write!(f, "functional execution supports MLPs only, `{name}` has convolutions")
+                write!(
+                    f,
+                    "functional execution supports MLPs only, `{name}` has convolutions"
+                )
             }
             AcceleratorError::WeightsNotLoaded => write!(f, "call weight_load before train/test"),
             AcceleratorError::NoStagedData => write!(f, "call copy_to_pl before train/test"),
@@ -218,7 +221,10 @@ impl Accelerator {
         if self.staged.is_empty() {
             return Err(AcceleratorError::NoStagedData);
         }
-        let mlp = self.mlp.as_mut().ok_or(AcceleratorError::WeightsNotLoaded)?;
+        let mlp = self
+            .mlp
+            .as_mut()
+            .ok_or(AcceleratorError::WeightsNotLoaded)?;
         let b = self.mapped.config.batch_size.min(self.staged.len());
         let mut last = 0.0;
         for _ in 0..epochs.max(1) {
@@ -241,7 +247,10 @@ impl Accelerator {
         if self.staged.is_empty() {
             return Err(AcceleratorError::NoStagedData);
         }
-        let mlp = self.mlp.as_mut().ok_or(AcceleratorError::WeightsNotLoaded)?;
+        let mlp = self
+            .mlp
+            .as_mut()
+            .ok_or(AcceleratorError::WeightsNotLoaded)?;
         let images: Vec<Tensor> = self.staged.iter().map(|(t, _)| t.clone()).collect();
         Ok(images.iter().map(|t| mlp.predict(t.as_slice())).collect())
     }
@@ -270,8 +279,12 @@ mod tests {
 
     #[test]
     fn lambda_controls_arrays() {
-        let small = Accelerator::builder(zoo::vgg(zoo::VggVariant::A)).lambda(0.25).build();
-        let big = Accelerator::builder(zoo::vgg(zoo::VggVariant::A)).lambda(4.0).build();
+        let small = Accelerator::builder(zoo::vgg(zoo::VggVariant::A))
+            .lambda(0.25)
+            .build();
+        let big = Accelerator::builder(zoo::vgg(zoo::VggVariant::A))
+            .lambda(4.0)
+            .build();
         assert!(big.training_area_mm2() > small.training_area_mm2());
         assert!(big.estimate_testing(640).time_s < small.estimate_testing(640).time_s);
     }

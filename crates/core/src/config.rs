@@ -1,14 +1,54 @@
 //! Accelerator configuration.
 
-use pipelayer_reram::ReramParams;
+use crate::repair::SpareBudget;
+use pipelayer_reram::{FaultModel, ReramParams, VerifyPolicy};
 
-/// PipeLayer configuration: device parameters plus training batch size.
+/// A rejected [`PipeLayerConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The batch size was zero.
+    ZeroBatch,
+    /// A fault-model probability was outside `[0, 1]` (or their sum was).
+    InvalidFaultRate(f64),
+    /// The verify policy allowed zero programming attempts.
+    ZeroAttempts,
+    /// The per-attempt write noise was negative or non-finite.
+    InvalidWriteSigma(f64),
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::ZeroBatch => write!(f, "batch size must be non-zero"),
+            ConfigError::InvalidFaultRate(r) => {
+                write!(f, "fault rate {r} must be in [0,1] (and sum to at most 1)")
+            }
+            ConfigError::ZeroAttempts => write!(f, "need at least one programming attempt"),
+            ConfigError::InvalidWriteSigma(s) => {
+                write!(f, "write sigma {s} must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// PipeLayer configuration: device parameters, training batch size, and the
+/// (opt-in) fault-tolerance knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipeLayerConfig {
     /// ReRAM device/array parameters (NVSim-derived, Sec. 6.2).
     pub params: ReramParams,
     /// Training batch size `B` (the paper's running example uses 64).
     pub batch_size: usize,
+    /// Per-cell stuck-at/dead probabilities ([`FaultModel::ideal`] by
+    /// default — the paper's fault-free device).
+    pub fault_model: FaultModel,
+    /// Program-and-verify write discipline (defaults to the ideal
+    /// single-shot write, so verification is strictly opt-in).
+    pub verify: VerifyPolicy,
+    /// Spare bit lines provisioned per mapped matrix (none by default).
+    pub spares: SpareBudget,
 }
 
 impl Default for PipeLayerConfig {
@@ -16,6 +56,9 @@ impl Default for PipeLayerConfig {
         PipeLayerConfig {
             params: ReramParams::default(),
             batch_size: 64,
+            fault_model: FaultModel::ideal(),
+            verify: VerifyPolicy::default(),
+            spares: SpareBudget::none(),
         }
     }
 }
@@ -24,15 +67,123 @@ impl PipeLayerConfig {
     /// Creates a config with the default device parameters and the given
     /// batch size.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroBatch`] if `batch_size` is zero.
+    pub fn try_with_batch(batch_size: usize) -> Result<Self, ConfigError> {
+        if batch_size == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(PipeLayerConfig {
+            batch_size,
+            ..Self::default()
+        })
+    }
+
+    /// Creates a config with the default device parameters and the given
+    /// batch size.
+    ///
     /// # Panics
     ///
-    /// Panics if `batch_size` is zero.
+    /// Panics if `batch_size` is zero. Use
+    /// [`try_with_batch`](Self::try_with_batch) to handle the error instead.
     pub fn with_batch(batch_size: usize) -> Self {
-        assert!(batch_size > 0, "batch size must be non-zero");
-        PipeLayerConfig {
-            params: ReramParams::default(),
-            batch_size,
+        Self::try_with_batch(batch_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Enables the fault-tolerance stack: stuck-at faults drawn from
+    /// `faults`, writes going through `verify`, and `spares` columns of
+    /// redundancy per matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any rate or the verify policy is
+    /// invalid.
+    pub fn try_with_fault_tolerance(
+        mut self,
+        faults: FaultModel,
+        verify: VerifyPolicy,
+        spares: SpareBudget,
+    ) -> Result<Self, ConfigError> {
+        self.fault_model = faults;
+        self.verify = verify;
+        self.spares = spares;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// [`try_with_fault_tolerance`](Self::try_with_fault_tolerance) that
+    /// panics on invalid input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or the verify policy is invalid.
+    pub fn with_fault_tolerance(
+        self,
+        faults: FaultModel,
+        verify: VerifyPolicy,
+        spares: SpareBudget,
+    ) -> Self {
+        self.try_with_fault_tolerance(faults, verify, spares)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks every field against its domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatch);
         }
+        for r in [
+            self.fault_model.stuck_at_zero,
+            self.fault_model.stuck_at_max,
+            self.fault_model.dead,
+        ] {
+            if !(0.0..=1.0).contains(&r) || !r.is_finite() {
+                return Err(ConfigError::InvalidFaultRate(r));
+            }
+        }
+        if self.fault_model.total_rate() > 1.0 {
+            return Err(ConfigError::InvalidFaultRate(self.fault_model.total_rate()));
+        }
+        if self.verify.max_attempts == 0 {
+            return Err(ConfigError::ZeroAttempts);
+        }
+        if self.verify.write_sigma < 0.0 || !self.verify.write_sigma.is_finite() {
+            return Err(ConfigError::InvalidWriteSigma(self.verify.write_sigma));
+        }
+        Ok(())
+    }
+
+    /// `true` once any fault-tolerance knob departs from the ideal
+    /// defaults — the gate that keeps the calibrated baseline numbers
+    /// bit-exact when fault tolerance is off.
+    pub fn fault_tolerance_enabled(&self) -> bool {
+        !self.fault_model.is_ideal() || self.verify != VerifyPolicy::default()
+    }
+
+    /// Expected programming pulses per cell write relative to the ideal
+    /// single-shot write — the factor the energy, timing and endurance
+    /// models scale reprogramming by. Exactly 1.0 with fault tolerance off.
+    pub fn write_pulse_multiplier(&self) -> f64 {
+        if !self.fault_tolerance_enabled() {
+            return 1.0;
+        }
+        self.verify.expected_pulse_multiplier(&self.fault_model)
+    }
+
+    /// Expected verify reads per written cell (one per programming
+    /// attempt). Zero with fault tolerance off: the base model's
+    /// fire-and-forget write has no read-back.
+    pub fn verify_reads_per_cell_write(&self) -> f64 {
+        if !self.fault_tolerance_enabled() {
+            return 0.0;
+        }
+        let f = self.fault_model.total_rate();
+        (1.0 - f) * self.verify.expected_attempts_healthy() + f * self.verify.max_attempts as f64
     }
 }
 
@@ -49,5 +200,83 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn rejects_zero_batch() {
         PipeLayerConfig::with_batch(0);
+    }
+
+    #[test]
+    fn try_with_batch_returns_error() {
+        assert_eq!(
+            PipeLayerConfig::try_with_batch(0),
+            Err(ConfigError::ZeroBatch)
+        );
+        assert_eq!(PipeLayerConfig::try_with_batch(8).unwrap().batch_size, 8);
+    }
+
+    #[test]
+    fn defaults_are_exact_noops() {
+        let c = PipeLayerConfig::default();
+        assert!(!c.fault_tolerance_enabled());
+        assert_eq!(c.write_pulse_multiplier(), 1.0);
+        assert_eq!(c.verify_reads_per_cell_write(), 0.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_tolerance_costs_pulses_and_reads() {
+        let c = PipeLayerConfig::default().with_fault_tolerance(
+            FaultModel::with_stuck_rate(1e-3),
+            VerifyPolicy {
+                max_attempts: 5,
+                write_sigma: 0.4,
+            },
+            SpareBudget::typical(),
+        );
+        assert!(c.fault_tolerance_enabled());
+        assert!(c.write_pulse_multiplier() > 1.0);
+        assert!(c.verify_reads_per_cell_write() > 1.0);
+    }
+
+    #[test]
+    fn try_with_fault_tolerance_rejects_bad_rates() {
+        let err = PipeLayerConfig::default().try_with_fault_tolerance(
+            FaultModel {
+                stuck_at_zero: 0.8,
+                stuck_at_max: 0.8,
+                dead: 0.0,
+            },
+            VerifyPolicy::default(),
+            SpareBudget::none(),
+        );
+        assert!(matches!(err, Err(ConfigError::InvalidFaultRate(_))));
+
+        let err = PipeLayerConfig::default().try_with_fault_tolerance(
+            FaultModel::ideal(),
+            VerifyPolicy {
+                max_attempts: 0,
+                write_sigma: 0.0,
+            },
+            SpareBudget::none(),
+        );
+        assert_eq!(err, Err(ConfigError::ZeroAttempts));
+
+        let err = PipeLayerConfig::default().try_with_fault_tolerance(
+            FaultModel::ideal(),
+            VerifyPolicy {
+                max_attempts: 2,
+                write_sigma: f64::NAN,
+            },
+            SpareBudget::none(),
+        );
+        assert!(matches!(err, Err(ConfigError::InvalidWriteSigma(_))));
+    }
+
+    #[test]
+    fn config_error_messages_are_stable() {
+        assert_eq!(
+            ConfigError::ZeroBatch.to_string(),
+            "batch size must be non-zero"
+        );
+        assert!(ConfigError::ZeroAttempts
+            .to_string()
+            .contains("at least one"));
     }
 }

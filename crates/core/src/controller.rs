@@ -200,7 +200,9 @@ impl Controller {
             .iter()
             .flat_map(|c| &c.commands)
             .filter_map(|cmd| match cmd {
-                Command::ArrayRead { phases, kind: k, .. } if *k == kind => Some(*phases),
+                Command::ArrayRead {
+                    phases, kind: k, ..
+                } if *k == kind => Some(*phases),
                 _ => None,
             })
             .sum()
@@ -254,7 +256,11 @@ mod tests {
         let bad = stream.iter().flat_map(|c| &c.commands).any(|cmd| {
             matches!(
                 cmd,
-                Command::ArrayRead { layer: 0, kind: PhaseKind::ErrorBackward, .. }
+                Command::ArrayRead {
+                    layer: 0,
+                    kind: PhaseKind::ErrorBackward,
+                    ..
+                }
             )
         });
         assert!(!bad, "δ_0 is never needed");
@@ -266,7 +272,9 @@ mod tests {
         let stream = Controller::compile_training_batch(&net);
         for cyc in &stream[..stream.len() - 1] {
             assert!(
-                !cyc.commands.iter().any(|c| matches!(c, Command::WeightUpdate { .. })),
+                !cyc.commands
+                    .iter()
+                    .any(|c| matches!(c, Command::WeightUpdate { .. })),
                 "update leaked into cycle {}",
                 cyc.cycle
             );
@@ -286,11 +294,7 @@ mod tests {
         // (inputs and morphable copies are tracked by other commands).
         let net = net(8);
         let stream = Controller::compile_training_batch(&net);
-        let per_image: u64 = net
-            .layers
-            .iter()
-            .map(|l| l.out_words + l.delta_words)
-            .sum();
+        let per_image: u64 = net.layers.iter().map(|l| l.out_words + l.delta_words).sum();
         assert_eq!(Controller::total_mem_write_words(&stream), 8 * per_image);
     }
 

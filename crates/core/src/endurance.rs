@@ -65,8 +65,10 @@ impl Lifetime {
 ///
 /// The binding resource is the *weight* cells: every update reprograms
 /// them, while buffer cells can be wear-levelled across the (much larger)
-/// memory region. `pulses_per_update` defaults to 1 (small averaged SGD
-/// deltas move a cell at most one level).
+/// memory region. `pulses_per_update` is derived from the config's write
+/// discipline: 1 for the ideal single-shot write (small averaged SGD deltas
+/// move a cell at most one level), higher when program-and-verify retries
+/// re-pulse cells — fault tolerance trades lifetime for accuracy.
 ///
 /// # Panics
 ///
@@ -78,7 +80,7 @@ pub fn training_lifetime(net: &MappedNetwork, model: &EnduranceModel) -> Lifetim
     let n = 100 * b;
     let est = PerfModel::new(net).training(n, true);
     let updates_per_second = (n / b) as f64 / est.time_s;
-    let pulses_per_update = 1.0;
+    let pulses_per_update = net.config.write_pulse_multiplier();
     Lifetime {
         updates_per_second,
         pulses_per_update,
@@ -120,13 +122,43 @@ mod tests {
     #[test]
     fn slower_pipelines_wear_slower() {
         // VGG's long cycle means far fewer updates per second than an MLP.
-        let mlp = training_lifetime(&mapped(&zoo::spec_mnist_a()), &EnduranceModel::research_grade());
+        let mlp = training_lifetime(
+            &mapped(&zoo::spec_mnist_a()),
+            &EnduranceModel::research_grade(),
+        );
         let vgg = training_lifetime(
             &mapped(&zoo::vgg(zoo::VggVariant::D)),
             &EnduranceModel::research_grade(),
         );
         assert!(vgg.updates_per_second < mlp.updates_per_second);
         assert!(vgg.seconds > mlp.seconds);
+    }
+
+    #[test]
+    fn verify_retries_shorten_lifetime() {
+        use crate::repair::SpareBudget;
+        use pipelayer_reram::{FaultModel, VerifyPolicy};
+        let spec = zoo::spec_mnist_a();
+        let base = mapped(&spec);
+        let cfg = PipeLayerConfig::default().with_fault_tolerance(
+            FaultModel::with_stuck_rate(1e-3),
+            VerifyPolicy {
+                max_attempts: 5,
+                write_sigma: 0.5,
+            },
+            SpareBudget::typical(),
+        );
+        let ft = MappedNetwork::from_spec(&spec, cfg);
+        let model = EnduranceModel::research_grade();
+        let l_base = training_lifetime(&base, &model);
+        let l_ft = training_lifetime(&ft, &model);
+        assert_eq!(l_base.pulses_per_update, 1.0, "ideal write: one pulse");
+        assert!(
+            l_ft.pulses_per_update > 1.0,
+            "retries must show up in wear: {}",
+            l_ft.pulses_per_update
+        );
+        assert!(l_ft.seconds < l_base.seconds);
     }
 
     #[test]

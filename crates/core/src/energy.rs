@@ -56,7 +56,11 @@ impl<'a> EnergyModel<'a> {
 
     /// Read spikes per image during testing.
     pub fn testing_read_spikes_per_image(&self) -> u64 {
-        self.net.layers.iter().map(|l| self.forward_read_spikes(l)).sum()
+        self.net
+            .layers
+            .iter()
+            .map(|l| self.forward_read_spikes(l))
+            .sum()
     }
 
     /// Words written to memory subarrays per image during testing:
@@ -116,6 +120,24 @@ impl<'a> EnergyModel<'a> {
             .sum()
     }
 
+    /// Programming spikes per weight update *including* program-and-verify
+    /// retries: the ideal count scaled by the config's expected pulse
+    /// multiplier (healthy-cell retry expectation plus budget burned on
+    /// faulty cells). Equals the ideal count with fault tolerance off.
+    pub fn verified_update_write_spikes_per_batch(&self) -> u64 {
+        (self.update_write_spikes_per_batch() as f64 * self.net.config.write_pulse_multiplier())
+            .round() as u64
+    }
+
+    /// Verify-read spikes per weight update: one read-back per programming
+    /// attempt on every written cell. Zero with fault tolerance off (the
+    /// base model's write has no read-back).
+    pub fn update_verify_read_spikes_per_batch(&self) -> u64 {
+        (self.update_write_spikes_per_batch() as f64
+            * self.net.config.verify_reads_per_cell_write())
+        .round() as u64
+    }
+
     /// Total testing energy for `n` images, joules.
     ///
     /// # Panics
@@ -137,12 +159,15 @@ impl<'a> EnergyModel<'a> {
     pub fn training_breakdown_j_per_image(&self) -> EnergyBreakdown {
         let p = &self.net.config.params;
         let b = self.net.config.batch_size as f64;
-        let reads = self.training_read_spikes_per_image() as f64 * p.read_energy_pj * 1e-12;
+        let reads = (self.training_read_spikes_per_image() as f64
+            + self.update_verify_read_spikes_per_batch() as f64 / b)
+            * p.read_energy_pj
+            * 1e-12;
         let writes = (self.training_write_words_per_image() * p.cells_per_word() as u64) as f64
             * p.write_energy_pj
             * 1e-12;
         let update =
-            self.update_write_spikes_per_batch() as f64 * p.write_energy_pj * 1e-12 / b;
+            self.verified_update_write_spikes_per_batch() as f64 * p.write_energy_pj * 1e-12 / b;
         EnergyBreakdown {
             reads_j: reads,
             data_writes_j: writes,
@@ -157,12 +182,16 @@ impl<'a> EnergyModel<'a> {
     /// Panics unless `n` is a positive multiple of the batch size.
     pub fn training_energy_j(&self, n: u64) -> f64 {
         let b = self.net.config.batch_size as u64;
-        assert!(n > 0 && n % b == 0, "n must be a multiple of the batch size");
+        assert!(
+            n > 0 && n.is_multiple_of(b),
+            "n must be a multiple of the batch size"
+        );
         let p = &self.net.config.params;
         let mut e = EnergyCounter::new();
         e.add_read_spikes(n * self.training_read_spikes_per_image());
+        e.add_read_spikes((n / b) * self.update_verify_read_spikes_per_batch());
         e.add_word_writes(n * self.training_write_words_per_image(), p);
-        e.add_write_spikes((n / b) * self.update_write_spikes_per_batch());
+        e.add_write_spikes((n / b) * self.verified_update_write_spikes_per_batch());
         e.energy_joules(p)
     }
 }
@@ -201,8 +230,7 @@ mod tests {
         let net = model_for(&zoo::alexnet());
         let e = EnergyModel::new(&net);
         let p = &net.config.params;
-        let read_j =
-            e.training_read_spikes_per_image() as f64 * p.read_energy_pj * 1e-12;
+        let read_j = e.training_read_spikes_per_image() as f64 * p.read_energy_pj * 1e-12;
         let write_j = (e.training_write_words_per_image() * p.cells_per_word() as u64) as f64
             * p.write_energy_pj
             * 1e-12;
@@ -250,5 +278,46 @@ mod tests {
     fn training_rejects_partial_batch() {
         let net = model_for(&zoo::spec_mnist_a());
         EnergyModel::new(&net).training_energy_j(63);
+    }
+
+    #[test]
+    fn verify_retries_raise_training_energy() {
+        use crate::repair::SpareBudget;
+        use pipelayer_reram::{FaultModel, VerifyPolicy};
+        let spec = zoo::spec_mnist_0();
+        let base = model_for(&spec);
+        let ft_cfg = PipeLayerConfig::default().with_fault_tolerance(
+            FaultModel::with_stuck_rate(1e-3),
+            VerifyPolicy {
+                max_attempts: 5,
+                write_sigma: 0.5,
+            },
+            SpareBudget::typical(),
+        );
+        let ft = MappedNetwork::from_spec(&spec, ft_cfg);
+        let e_base = EnergyModel::new(&base);
+        let e_ft = EnergyModel::new(&ft);
+
+        // Ideal pulse counts agree; verified counts diverge.
+        assert_eq!(
+            e_base.update_write_spikes_per_batch(),
+            e_ft.update_write_spikes_per_batch()
+        );
+        assert_eq!(
+            e_base.verified_update_write_spikes_per_batch(),
+            e_base.update_write_spikes_per_batch(),
+            "fault tolerance off: verified == ideal"
+        );
+        assert_eq!(e_base.update_verify_read_spikes_per_batch(), 0);
+        assert!(
+            e_ft.verified_update_write_spikes_per_batch() > e_ft.update_write_spikes_per_batch()
+        );
+        assert!(e_ft.update_verify_read_spikes_per_batch() > 0);
+        assert!(e_ft.training_energy_j(64) > e_base.training_energy_j(64));
+
+        // Breakdown still reconciles with the total under fault tolerance.
+        let bd = e_ft.training_breakdown_j_per_image();
+        let total = e_ft.training_energy_j(64) / 64.0;
+        assert!((bd.total_j() - total).abs() < 1e-6 * total);
     }
 }

@@ -26,7 +26,14 @@ struct ConvStage {
 }
 
 impl ConvStage {
-    fn new(c_in: usize, c_out: usize, k: usize, pad: usize, params: &ReramParams, rng: &mut impl Rng) -> Self {
+    fn new(
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        pad: usize,
+        params: &ReramParams,
+        rng: &mut impl Rng,
+    ) -> Self {
         let cols = k * k * c_in + 1;
         let a = (6.0 / (k * k * c_in + c_out) as f32).sqrt();
         let mut w: Vec<f32> = Tensor::uniform(&[c_out, cols], -a, a, rng).into_vec();
@@ -98,8 +105,8 @@ impl ConvStage {
                     continue;
                 }
                 let row = &mut self.grad_acc[co * cols..(co + 1) * cols];
-                for c in 0..cols - 1 {
-                    row[c] += d * self.cached_patches[[p, c]];
+                for (c, r) in row.iter_mut().enumerate().take(cols - 1) {
+                    *r += d * self.cached_patches[[p, c]];
                 }
                 row[cols - 1] += d; // bias
             }
@@ -109,7 +116,11 @@ impl ConvStage {
         let (h_in, w_in) = (self.cached_input.dims()[1], self.cached_input.dims()[2]);
         let bpad = self.k - 1 - self.pad;
         let dpatches = ops::im2col(&masked, self.k, self.k, 1, bpad); // [P_in, k²c_out]
-        assert_eq!(dpatches.dims()[0], h_in * w_in, "backward geometry mismatch");
+        assert_eq!(
+            dpatches.dims()[0],
+            h_in * w_in,
+            "backward geometry mismatch"
+        );
         let mut dx = Tensor::zeros(&[self.c_in, h_in, w_in]);
         for p in 0..h_in * w_in {
             let x: Vec<f32> = (0..self.k * self.k * self.c_out)
@@ -175,7 +186,13 @@ struct FcStage {
 }
 
 impl FcStage {
-    fn new(n_in: usize, n_out: usize, relu: bool, params: &ReramParams, rng: &mut impl Rng) -> Self {
+    fn new(
+        n_in: usize,
+        n_out: usize,
+        relu: bool,
+        params: &ReramParams,
+        rng: &mut impl Rng,
+    ) -> Self {
         let a = (6.0 / (n_in + n_out) as f32).sqrt();
         let mut w: Vec<f32> = Tensor::uniform(&[n_out, n_in + 1], -a, a, rng).into_vec();
         for o in 0..n_out {
@@ -240,7 +257,8 @@ impl FcStage {
             *wi -= scale * g;
         }
         self.forward.write(&w);
-        self.backward.write(&transpose_no_bias(&w, self.n_out, self.n_in));
+        self.backward
+            .write(&transpose_no_bias(&w, self.n_out, self.n_in));
         self.grad_acc.fill(0.0);
     }
 }
@@ -308,7 +326,12 @@ impl ReramCnn {
         let mut seen = 0usize;
         for layer in &spec.layers {
             match *layer {
-                LayerSpec::Conv { k, c_out, stride, pad } => {
+                LayerSpec::Conv {
+                    k,
+                    c_out,
+                    stride,
+                    pad,
+                } => {
                     assert_eq!(stride, 1, "functional conv supports stride 1 only");
                     let mut st = ConvStage::new(shape.0, c_out, k, pad, params, &mut rng);
                     seen += 1;
@@ -403,7 +426,10 @@ impl ReramCnn {
     ///
     /// Panics on empty or mismatched inputs.
     pub fn accuracy(&mut self, images: &[Tensor], labels: &[usize]) -> f32 {
-        assert!(!images.is_empty() && images.len() == labels.len(), "bad eval set");
+        assert!(
+            !images.is_empty() && images.len() == labels.len(),
+            "bad eval set"
+        );
         let correct = images
             .iter()
             .zip(labels)
@@ -425,9 +451,9 @@ impl ReramCnn {
         for stage in self.stages.iter_mut().rev() {
             match stage {
                 Stage::Fc(fc) => {
-                    let d = vec_delta.take().unwrap_or_else(|| {
-                        spatial_delta.take().expect("delta missing").into_vec()
-                    });
+                    let d = vec_delta
+                        .take()
+                        .unwrap_or_else(|| spatial_delta.take().expect("delta missing").into_vec());
                     let dx = fc.backward(&d);
                     if dx.shape().rank() == 1 {
                         vec_delta = Some(dx.into_vec());
@@ -456,7 +482,10 @@ impl ReramCnn {
     ///
     /// Panics on empty or mismatched batches.
     pub fn train_batch(&mut self, images: &[Tensor], labels: &[usize], lr: f32) -> f32 {
-        assert!(!images.is_empty() && images.len() == labels.len(), "bad batch");
+        assert!(
+            !images.is_empty() && images.len() == labels.len(),
+            "bad batch"
+        );
         let mut total = 0.0;
         for (img, &l) in images.iter().zip(labels) {
             total += self.train_sample(img, l);
@@ -507,7 +536,12 @@ mod tests {
             "tiny-cnn",
             (1, 7, 7),
             vec![
-                LayerSpec::Conv { k: 3, c_out: 4, stride: 1, pad: 0 },
+                LayerSpec::Conv {
+                    k: 3,
+                    c_out: 4,
+                    stride: 1,
+                    pad: 0,
+                },
                 LayerSpec::Fc { n_out: 10 },
             ],
         )
@@ -516,7 +550,9 @@ mod tests {
     #[test]
     fn forward_shapes_and_determinism() {
         let mut cnn = ReramCnn::from_spec(&tiny_spec(), &ReramParams::default(), 3);
-        let x = Tensor::from_fn(&[1, 7, 7], |i| ((i[1] * 7 + i[2]) as f32 * 0.02).sin().abs());
+        let x = Tensor::from_fn(&[1, 7, 7], |i| {
+            ((i[1] * 7 + i[2]) as f32 * 0.02).sin().abs()
+        });
         let a = cnn.forward(&x);
         let b = cnn.forward(&x);
         assert_eq!(a.len(), 10);
@@ -599,8 +635,17 @@ mod tests {
             "pooled",
             (1, 8, 8),
             vec![
-                LayerSpec::Conv { k: 3, c_out: 2, stride: 1, pad: 1 },
-                LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+                LayerSpec::Conv {
+                    k: 3,
+                    c_out: 2,
+                    stride: 1,
+                    pad: 1,
+                },
+                LayerSpec::Pool {
+                    k: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                },
                 LayerSpec::Fc { n_out: 4 },
             ],
         );
@@ -618,7 +663,15 @@ mod tests {
         let spec = NetSpec::new(
             "strided",
             (1, 8, 8),
-            vec![LayerSpec::Conv { k: 3, c_out: 2, stride: 2, pad: 0 }, LayerSpec::Fc { n_out: 2 }],
+            vec![
+                LayerSpec::Conv {
+                    k: 3,
+                    c_out: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+                LayerSpec::Fc { n_out: 2 },
+            ],
         );
         ReramCnn::from_spec(&spec, &ReramParams::default(), 7);
     }

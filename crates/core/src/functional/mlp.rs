@@ -15,11 +15,22 @@
 //! `ReramMatrix` primitive via im2col but is quadratically slower, so the
 //! shipped examples stick to MLPs.
 
+use crate::repair::{RepairController, SpareBudget};
 use pipelayer_nn::loss::Loss;
-use pipelayer_reram::{ReramMatrix, ReramParams};
+use pipelayer_reram::{FaultModel, ProgramReport, ReramMatrix, ReramParams, VerifyPolicy};
 use pipelayer_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Fault-tolerance knobs threaded through construction and updates.
+#[derive(Debug, Clone)]
+struct FaultState {
+    verify: VerifyPolicy,
+    /// Write-noise sampling for the program-and-verify loop.
+    rng: StdRng,
+    /// Merged cost of every verified write so far.
+    report: ProgramReport,
+}
 
 struct ReramMlpLayer {
     n_in: usize,
@@ -28,6 +39,9 @@ struct ReramMlpLayer {
     forward: ReramMatrix,
     /// `A_l2`: reordered weights `(W_l)ᵀ` for the error backward pass.
     backward: ReramMatrix,
+    /// Spare-column bookkeeping for the two array copies.
+    forward_repair: RepairController,
+    backward_repair: RepairController,
     /// Accumulated partial derivatives (the memory-subarray `ΔW` buffers).
     grad_acc: Vec<f32>,
     cached_in: Vec<f32>,
@@ -36,7 +50,13 @@ struct ReramMlpLayer {
 }
 
 impl ReramMlpLayer {
-    fn new(n_in: usize, n_out: usize, relu: bool, params: &ReramParams, rng: &mut impl Rng) -> Self {
+    fn new(
+        n_in: usize,
+        n_out: usize,
+        relu: bool,
+        params: &ReramParams,
+        rng: &mut impl Rng,
+    ) -> Self {
         let a = (6.0 / (n_in + n_out) as f32).sqrt();
         let w: Vec<f32> = Tensor::uniform(&[n_out, n_in + 1], -a, a, rng).into_vec();
         let wt = transpose_no_bias(&w, n_out, n_in);
@@ -45,6 +65,60 @@ impl ReramMlpLayer {
             n_out,
             forward: ReramMatrix::program(&w, n_out, n_in + 1, params),
             backward: ReramMatrix::program(&wt, n_in, n_out, params),
+            forward_repair: RepairController::new(SpareBudget::none()),
+            backward_repair: RepairController::new(SpareBudget::none()),
+            grad_acc: vec![0.0; n_out * (n_in + 1)],
+            cached_in: Vec::new(),
+            cached_out: Vec::new(),
+            relu,
+        }
+    }
+
+    /// Like [`new`](Self::new), but the arrays carry stuck-at faults drawn
+    /// from `faults` and the initial weights go through a commissioning
+    /// scrub: a verified write whose unrecoverable columns are immediately
+    /// remapped to spares (or masked once `spares` runs out). Returns the
+    /// scrub's cost.
+    #[allow(clippy::too_many_arguments)]
+    fn with_faults(
+        n_in: usize,
+        n_out: usize,
+        relu: bool,
+        params: &ReramParams,
+        rng: &mut StdRng,
+        faults: &FaultModel,
+        ft: &mut FaultState,
+        spares: SpareBudget,
+        salt: u64,
+    ) -> Self {
+        let a = (6.0 / (n_in + n_out) as f32).sqrt();
+        let w: Vec<f32> = Tensor::uniform(&[n_out, n_in + 1], -a, a, rng).into_vec();
+        let wt = transpose_no_bias(&w, n_out, n_in);
+        let mut forward =
+            ReramMatrix::program_with_faults(&w, n_out, n_in + 1, params, faults, salt);
+        let mut backward = ReramMatrix::program_with_faults(
+            &wt,
+            n_in,
+            n_out,
+            params,
+            faults,
+            salt ^ 0x9e37_79b9_7f4a_7c15,
+        );
+        let mut forward_repair = RepairController::new(spares);
+        let mut backward_repair = RepairController::new(spares);
+        let r = forward.write_verify(&w, &ft.verify, &mut ft.rng);
+        forward_repair.process(&mut forward, &r);
+        ft.report.merge(r);
+        let r = backward.write_verify(&wt, &ft.verify, &mut ft.rng);
+        backward_repair.process(&mut backward, &r);
+        ft.report.merge(r);
+        ReramMlpLayer {
+            n_in,
+            n_out,
+            forward,
+            backward,
+            forward_repair,
+            backward_repair,
             grad_acc: vec![0.0; n_out * (n_in + 1)],
             cached_in: Vec::new(),
             cached_out: Vec::new(),
@@ -80,6 +154,9 @@ fn transpose_no_bias(w: &[f32], n_out: usize, n_in: usize) -> Vec<f32> {
 pub struct ReramMlp {
     layers: Vec<ReramMlpLayer>,
     loss: Loss,
+    /// `Some` when fault tolerance is on: writes verify-and-retry, and
+    /// unrecoverable columns are repaired or masked.
+    fault_tolerance: Option<FaultState>,
 }
 
 impl ReramMlp {
@@ -104,6 +181,98 @@ impl ReramMlp {
         ReramMlp {
             layers,
             loss: Loss::SoftmaxCrossEntropy,
+            fault_tolerance: None,
+        }
+    }
+
+    /// Builds an MLP whose arrays carry persistent stuck-at faults drawn
+    /// from `faults` (deterministically in `seed`) but **no** fault
+    /// tolerance: writes are fire-and-forget and stuck cells silently
+    /// corrupt every read — the "repair off" arm of the ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid widths (see [`new`](Self::new)) or fault rates.
+    pub fn with_faults(
+        dims: &[usize],
+        params: &ReramParams,
+        seed: u64,
+        faults: &FaultModel,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, dims_w)| {
+                let relu = i + 2 < dims.len();
+                let (n_in, n_out) = (dims_w[0], dims_w[1]);
+                let mut layer = ReramMlpLayer::new(n_in, n_out, relu, params, &mut rng);
+                let salt = seed.wrapping_add(1 + 1000 * i as u64);
+                let w = layer.forward.read();
+                let wt = transpose_no_bias(&w, n_out, n_in);
+                layer.forward =
+                    ReramMatrix::program_with_faults(&w, n_out, n_in + 1, params, faults, salt);
+                layer.backward = ReramMatrix::program_with_faults(
+                    &wt,
+                    n_in,
+                    n_out,
+                    params,
+                    faults,
+                    salt ^ 0x9e37_79b9_7f4a_7c15,
+                );
+                layer
+            })
+            .collect();
+        ReramMlp {
+            layers,
+            loss: Loss::SoftmaxCrossEntropy,
+            fault_tolerance: None,
+        }
+    }
+
+    /// Builds an MLP whose arrays carry persistent stuck-at faults drawn
+    /// from `faults` (deterministically in `seed`), with every weight write
+    /// going through the bounded program-and-verify loop of `verify` and
+    /// unrecoverable columns remapped against `spares` (masked once the
+    /// budget is gone). Initial weights are scrubbed at construction, so
+    /// repair is active from the first forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid widths (see [`new`](Self::new)) or fault rates.
+    pub fn with_fault_tolerance(
+        dims: &[usize],
+        params: &ReramParams,
+        seed: u64,
+        faults: &FaultModel,
+        verify: VerifyPolicy,
+        spares: SpareBudget,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ft = FaultState {
+            verify,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_f417),
+            report: ProgramReport::default(),
+        };
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let relu = i + 2 < dims.len();
+                let salt = seed.wrapping_add(1 + 1000 * i as u64);
+                ReramMlpLayer::with_faults(
+                    w[0], w[1], relu, params, &mut rng, faults, &mut ft, spares, salt,
+                )
+            })
+            .collect();
+        ReramMlp {
+            layers,
+            loss: Loss::SoftmaxCrossEntropy,
+            fault_tolerance: Some(ft),
         }
     }
 
@@ -220,13 +389,48 @@ impl ReramMlp {
             for (wi, g) in w.iter_mut().zip(&layer.grad_acc) {
                 *wi -= scale * g;
             }
-            layer.forward.write(&w);
-            layer
-                .backward
-                .write(&transpose_no_bias(&w, layer.n_out, layer.n_in));
+            let wt = transpose_no_bias(&w, layer.n_out, layer.n_in);
+            match &mut self.fault_tolerance {
+                Some(ft) => {
+                    let r = layer.forward.write_verify(&w, &ft.verify, &mut ft.rng);
+                    layer.forward_repair.process(&mut layer.forward, &r);
+                    ft.report.merge(r);
+                    let r = layer.backward.write_verify(&wt, &ft.verify, &mut ft.rng);
+                    layer.backward_repair.process(&mut layer.backward, &r);
+                    ft.report.merge(r);
+                }
+                None => {
+                    layer.forward.write(&w);
+                    layer.backward.write(&wt);
+                }
+            }
             layer.grad_acc.fill(0.0);
         }
         total / images.len() as f32
+    }
+
+    /// Merged cost of every verified write so far (`None` when fault
+    /// tolerance is off): total pulses vs ideal pulses, verify reads, and
+    /// the cells still unrecoverable at their last write.
+    pub fn fault_report(&self) -> Option<&ProgramReport> {
+        self.fault_tolerance.as_ref().map(|ft| &ft.report)
+    }
+
+    /// Spare columns consumed across all layers (forward + backward arrays).
+    pub fn spares_used(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.forward_repair.remapped().len() + l.backward_repair.remapped().len())
+            .sum()
+    }
+
+    /// Output units masked off across all layers — the graceful-degradation
+    /// toll after the spare budget ran out.
+    pub fn masked_units(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.forward_repair.masked().len() + l.backward_repair.masked().len())
+            .sum()
     }
 
     /// Reads layer `li`'s weights (bias folded as the last column of each
@@ -282,6 +486,7 @@ pub fn downsample(img: &Tensor, factor: usize) -> Tensor {
 mod tests {
     use super::*;
     use pipelayer_nn::data::SyntheticMnist;
+    use pipelayer_reram::FaultModel;
 
     fn small_task() -> (Vec<Tensor>, Vec<usize>, Vec<Tensor>, Vec<usize>) {
         let data = SyntheticMnist::generate(120, 40, 77);
@@ -296,7 +501,7 @@ mod tests {
         let mut mlp = ReramMlp::new(&[49, 16, 10], &ReramParams::default(), 5);
         let before = mlp.accuracy(&te, &tel);
         let mut last_loss = f32::INFINITY;
-        for epoch in 0..4 {
+        for epoch in 0..8 {
             let mut total = 0.0;
             for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)) {
                 total += mlp.train_batch(imgs, labs, 0.3);
@@ -357,6 +562,74 @@ mod tests {
     fn downsample_shapes() {
         let img = Tensor::ones(&[1, 28, 28]);
         assert_eq!(downsample(&img, 4).dims(), &[1, 7, 7]);
+    }
+
+    #[test]
+    fn fault_tolerant_mlp_tracks_pulse_overhead() {
+        let (tr, trl, _, _) = small_task();
+        let mut mlp = ReramMlp::with_fault_tolerance(
+            &[49, 8, 10],
+            &ReramParams::default(),
+            6,
+            &FaultModel::with_stuck_rate(1e-3),
+            VerifyPolicy {
+                max_attempts: 3,
+                write_sigma: 0.2,
+            },
+            SpareBudget::typical(),
+        );
+        let scrub = mlp.fault_report().unwrap().clone();
+        assert!(scrub.pulses > 0, "commissioning scrub must program cells");
+        mlp.train_batch(&tr[..10], &trl[..10], 0.2);
+        let after = mlp.fault_report().unwrap();
+        assert!(after.pulses > scrub.pulses, "updates add verified pulses");
+        assert!(after.verify_reads > 0);
+        assert!(after.overhead() >= 1.0);
+    }
+
+    #[test]
+    fn repair_keeps_faulty_mlp_close_to_ideal() {
+        let (tr, trl, te, tel) = small_task();
+        let faults = FaultModel::with_stuck_rate(1e-3);
+        let policy = VerifyPolicy::with_attempts(3);
+
+        let mut ideal = ReramMlp::new(&[49, 16, 10], &ReramParams::default(), 5);
+        let mut repaired = ReramMlp::with_fault_tolerance(
+            &[49, 16, 10],
+            &ReramParams::default(),
+            5,
+            &faults,
+            policy,
+            SpareBudget::typical(),
+        );
+        for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)) {
+            ideal.train_batch(imgs, labs, 0.3);
+            repaired.train_batch(imgs, labs, 0.3);
+        }
+        let a_ideal = ideal.accuracy(&te, &tel);
+        let a_rep = repaired.accuracy(&te, &tel);
+        assert!(
+            a_rep >= a_ideal - 0.10,
+            "repaired ({a_rep}) should track ideal ({a_ideal})"
+        );
+    }
+
+    #[test]
+    fn masking_degrades_gracefully_not_catastrophically() {
+        // No spares at a heavy fault rate: many columns get masked, but the
+        // network still runs and produces finite outputs.
+        let mut mlp = ReramMlp::with_fault_tolerance(
+            &[20, 12, 4],
+            &ReramParams::default(),
+            3,
+            &FaultModel::with_stuck_rate(0.02),
+            VerifyPolicy::with_attempts(2),
+            SpareBudget::none(),
+        );
+        assert!(mlp.masked_units() > 0, "2% faults must hit some column");
+        assert_eq!(mlp.spares_used(), 0);
+        let out = mlp.forward(&[0.5; 20]);
+        assert!(out.iter().all(|v| v.is_finite()));
     }
 
     #[test]

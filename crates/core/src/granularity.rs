@@ -70,11 +70,7 @@ pub fn granularity_with_budget(layers: &[ResolvedLayer], budget: u64) -> Vec<usi
             })
             .sum()
     };
-    let max_p = layers
-        .iter()
-        .map(|l| l.window_positions)
-        .max()
-        .unwrap_or(1) as u64;
+    let max_p = layers.iter().map(|l| l.window_positions).max().unwrap_or(1) as u64;
     let mut reads = 1u64;
     loop {
         let g = g_for(reads);
@@ -94,7 +90,10 @@ pub fn granularity_with_budget(layers: &[ResolvedLayer], budget: u64) -> Vec<usi
 /// Panics if the slices have different lengths or λ is negative/NaN.
 pub fn scale_lambda(g: &[usize], lambda: f64, layers: &[ResolvedLayer]) -> Vec<usize> {
     assert_eq!(g.len(), layers.len(), "granularity/layer length mismatch");
-    assert!(lambda >= 0.0 && lambda.is_finite(), "invalid lambda {lambda}");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "invalid lambda {lambda}"
+    );
     g.iter()
         .zip(layers)
         .map(|(&gl, l)| {
@@ -108,7 +107,6 @@ pub fn scale_lambda(g: &[usize], lambda: f64, layers: &[ResolvedLayer]) -> Vec<u
 pub fn scale_max(layers: &[ResolvedLayer]) -> Vec<usize> {
     layers.iter().map(|l| l.window_positions.max(1)).collect()
 }
-
 
 /// The "automatically optimized by compiler" path of Sec. 5.2: starting
 /// from `G = 1` everywhere, repeatedly double the replication of the layer
@@ -135,7 +133,10 @@ pub fn optimize_granularity(layers: &[ResolvedLayer], budget_xbars: u64) -> Vec<
     let mut g: Vec<usize> = vec![1; layers.len()];
     // Replication cost beyond the mandatory single copy per layer.
     let cost = |g: &[usize]| -> u64 {
-        g.iter().zip(&tiles).map(|(&gl, &t)| (gl as u64 - 1) * t).sum()
+        g.iter()
+            .zip(&tiles)
+            .map(|(&gl, &t)| (gl as u64 - 1) * t)
+            .sum()
     };
     loop {
         // Current bottleneck: the largest read count that can still improve.
@@ -143,7 +144,7 @@ pub fn optimize_granularity(layers: &[ResolvedLayer], budget_xbars: u64) -> Vec<
         for (i, l) in layers.iter().enumerate() {
             let p = l.window_positions.max(1) as u64;
             let reads = p.div_ceil(g[i] as u64);
-            if reads > 1 && best.map_or(true, |(_, r)| reads > r) {
+            if reads > 1 && best.is_none_or(|(_, r)| reads > r) {
                 best = Some((i, reads));
             }
         }

@@ -53,12 +53,14 @@ pub mod mapping;
 pub mod nonpipelined;
 pub mod perf;
 pub mod pipeline;
+pub mod repair;
 pub mod report;
 pub mod timing;
 pub mod variation;
 
 pub use api::Accelerator;
-pub use config::PipeLayerConfig;
-pub use mapping::{MappedLayer, MappedNetwork};
+pub use config::{ConfigError, PipeLayerConfig};
+pub use mapping::{MapError, MappedLayer, MappedNetwork};
 pub use perf::RunEstimate;
+pub use repair::{RepairController, SpareBudget};
 pub use report::ConfigurationReport;

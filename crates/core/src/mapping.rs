@@ -13,10 +13,55 @@
 //!   image, `B` per layer in the pipelined design;
 //! * memory subarrays for the inter-layer circular buffers (Fig. 8).
 
-use crate::config::PipeLayerConfig;
+use crate::config::{ConfigError, PipeLayerConfig};
 use crate::granularity::default_granularity;
 use pipelayer_nn::spec::{NetSpec, ResolvedLayer};
 use pipelayer_reram::tile_grid;
+
+/// A rejected mapping request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// The per-layer granularity vector's length differed from the number
+    /// of weighted layers.
+    GranularityLength {
+        /// Weighted layers in the network.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// A granularity entry was zero.
+    ZeroGranularity {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// The configuration itself was invalid.
+    Config(ConfigError),
+}
+
+impl core::fmt::Display for MapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MapError::GranularityLength { expected, got } => {
+                write!(
+                    f,
+                    "granularity length mismatch: {expected} layers, {got} entries"
+                )
+            }
+            MapError::ZeroGranularity { layer } => {
+                write!(f, "granularity must be positive (layer {layer} is zero)")
+            }
+            MapError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<ConfigError> for MapError {
+    fn from(e: ConfigError) -> Self {
+        MapError::Config(e)
+    }
+}
 
 /// One weighted layer mapped onto arrays.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,10 +104,49 @@ pub struct MappedNetwork {
 
 impl MappedNetwork {
     /// Maps `spec` with the default (Table 5 style) granularity.
-    pub fn from_spec(spec: &NetSpec, config: PipeLayerConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Config`] if `config` is invalid.
+    pub fn try_from_spec(spec: &NetSpec, config: PipeLayerConfig) -> Result<Self, MapError> {
         let resolved = spec.resolve();
         let g = default_granularity(&resolved);
-        Self::with_granularity(spec, &g, config)
+        Self::try_with_granularity(spec, &g, config)
+    }
+
+    /// Maps `spec` with the default (Table 5 style) granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid. Use
+    /// [`try_from_spec`](Self::try_from_spec) to handle the error instead.
+    pub fn from_spec(spec: &NetSpec, config: PipeLayerConfig) -> Self {
+        Self::try_from_spec(spec, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Maps `spec` with an explicit per-layer granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapError`] if `g.len()` differs from the number of
+    /// weighted layers, any entry is zero, or `config` is invalid.
+    pub fn try_with_granularity(
+        spec: &NetSpec,
+        g: &[usize],
+        config: PipeLayerConfig,
+    ) -> Result<Self, MapError> {
+        config.validate()?;
+        let resolved = spec.resolve();
+        if g.len() != resolved.len() {
+            return Err(MapError::GranularityLength {
+                expected: resolved.len(),
+                got: g.len(),
+            });
+        }
+        if let Some(layer) = g.iter().position(|&x| x == 0) {
+            return Err(MapError::ZeroGranularity { layer });
+        }
+        Ok(Self::map_resolved(spec, resolved, g, config))
     }
 
     /// Maps `spec` with an explicit per-layer granularity.
@@ -70,11 +154,19 @@ impl MappedNetwork {
     /// # Panics
     ///
     /// Panics if `g.len()` differs from the number of weighted layers or
-    /// contains zeros.
+    /// contains zeros. Use
+    /// [`try_with_granularity`](Self::try_with_granularity) to handle the
+    /// error instead.
     pub fn with_granularity(spec: &NetSpec, g: &[usize], config: PipeLayerConfig) -> Self {
-        let resolved = spec.resolve();
-        assert_eq!(g.len(), resolved.len(), "granularity length mismatch");
-        assert!(g.iter().all(|&x| x > 0), "granularity must be positive");
+        Self::try_with_granularity(spec, g, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn map_resolved(
+        spec: &NetSpec,
+        resolved: Vec<ResolvedLayer>,
+        g: &[usize],
+        config: PipeLayerConfig,
+    ) -> Self {
         let size = config.params.xbar_size;
         let layers = resolved
             .into_iter()
@@ -93,7 +185,11 @@ impl MappedNetwork {
                 } else {
                     1
                 };
-                let reads_error = if idx == 0 { 0 } else { p_err.div_ceil(gl as u64) };
+                let reads_error = if idx == 0 {
+                    0
+                } else {
+                    p_err.div_ceil(gl as u64)
+                };
                 // Gradient phase: δ channels drive the stored-d arrays
                 // (Fig. 12) — one input vector per output channel for conv.
                 // FC gradients are produced entirely by the batch-averaged
@@ -159,8 +255,7 @@ impl MappedNetwork {
     /// for gradient computation: capacity for `B` images per layer
     /// (4 cells per 16-bit word).
     pub fn gradient_data_crossbars(&self) -> u64 {
-        let cells_per_xbar =
-            (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
+        let cells_per_xbar = (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
         let cells_per_word = self.config.params.cells_per_word() as u64;
         let b = self.config.batch_size as u64;
         self.layers
@@ -173,8 +268,7 @@ impl MappedNetwork {
     /// (depth `2(L−l)+1` per inter-layer `d` buffer, plus the duplicated
     /// same-cycle read/write buffers for `d_L` and the `δ`s).
     pub fn buffer_crossbars(&self) -> u64 {
-        let cells_per_xbar =
-            (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
+        let cells_per_xbar = (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
         let cells_per_word = self.config.params.cells_per_word() as u64;
         let l_total = self.layers.len() as u64;
         let mut words = 0u64;
@@ -194,11 +288,25 @@ impl MappedNetwork {
             + self.buffer_crossbars()
     }
 
+    /// Fractional area overhead of the spare-column provision: every weight
+    /// crossbar carries `spares.cols_per_matrix` redundant bit lines next
+    /// to its `xbar_size` working ones. Zero with no budget.
+    pub fn spare_overhead_fraction(&self) -> f64 {
+        self.config.spares.cols_per_matrix as f64 / self.config.params.xbar_size as f64
+    }
+
+    /// Equivalent extra crossbars the spare columns cost across the weight
+    /// (forward + backward) arrays — what the redundancy adds to the area
+    /// budget.
+    pub fn spare_crossbar_equivalent(&self) -> f64 {
+        (self.forward_crossbars() + self.backward_crossbars()) as f64
+            * self.spare_overhead_fraction()
+    }
+
     /// Crossbars for a testing-only deployment (forward arrays plus
     /// single-entry inter-layer buffers).
     pub fn total_crossbars_testing(&self) -> u64 {
-        let cells_per_xbar =
-            (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
+        let cells_per_xbar = (self.config.params.xbar_size * self.config.params.xbar_size) as u64;
         let cells_per_word = self.config.params.cells_per_word() as u64;
         let words: u64 = self.layers.iter().map(|l| l.out_words).sum();
         self.forward_crossbars() + (words * cells_per_word).div_ceil(cells_per_xbar)
@@ -221,7 +329,12 @@ mod tests {
         let spec = pipelayer_nn::NetSpec::new(
             "fig5",
             (128, 8, 8),
-            vec![pipelayer_nn::LayerSpec::Conv { k: 2, c_out: 256, stride: 1, pad: 0 }],
+            vec![pipelayer_nn::LayerSpec::Conv {
+                k: 2,
+                c_out: 256,
+                stride: 1,
+                pad: 0,
+            }],
         );
         let m = mapped(&spec);
         assert_eq!(m.layers[0].resolved.matrix_rows, 513);
@@ -287,5 +400,64 @@ mod tests {
     fn rejects_wrong_granularity_length() {
         let spec = zoo::spec_mnist_a();
         MappedNetwork::with_granularity(&spec, &[1], PipeLayerConfig::default());
+    }
+
+    #[test]
+    fn try_variants_return_errors_not_panics() {
+        let spec = zoo::spec_mnist_a();
+        let err = MappedNetwork::try_with_granularity(&spec, &[1], PipeLayerConfig::default());
+        assert_eq!(
+            err,
+            Err(MapError::GranularityLength {
+                expected: 2,
+                got: 1
+            })
+        );
+        let err = MappedNetwork::try_with_granularity(&spec, &[1, 0], PipeLayerConfig::default());
+        assert_eq!(err, Err(MapError::ZeroGranularity { layer: 1 }));
+        let ok = MappedNetwork::try_from_spec(&spec, PipeLayerConfig::default()).unwrap();
+        assert_eq!(
+            ok,
+            MappedNetwork::from_spec(&spec, PipeLayerConfig::default())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn rejects_zero_granularity() {
+        let spec = zoo::spec_mnist_a();
+        MappedNetwork::with_granularity(&spec, &[1, 0], PipeLayerConfig::default());
+    }
+
+    #[test]
+    fn try_mapping_propagates_config_errors() {
+        let spec = zoo::spec_mnist_a();
+        let bad = PipeLayerConfig {
+            batch_size: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            MappedNetwork::try_from_spec(&spec, bad),
+            Err(MapError::Config(crate::config::ConfigError::ZeroBatch))
+        ));
+    }
+
+    #[test]
+    fn spare_budget_adds_area_overhead() {
+        use crate::repair::SpareBudget;
+        let spec = zoo::spec_mnist_0();
+        let none = mapped(&spec);
+        assert_eq!(none.spare_overhead_fraction(), 0.0);
+        assert_eq!(none.spare_crossbar_equivalent(), 0.0);
+
+        let cfg = PipeLayerConfig {
+            spares: SpareBudget::typical(),
+            ..Default::default()
+        };
+        let spared = MappedNetwork::from_spec(&spec, cfg);
+        assert!((spared.spare_overhead_fraction() - 4.0 / 128.0).abs() < 1e-12);
+        assert!(spared.spare_crossbar_equivalent() > 0.0);
+        // Redundancy never changes the working-array accounting.
+        assert_eq!(spared.forward_crossbars(), none.forward_crossbars());
     }
 }

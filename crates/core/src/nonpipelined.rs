@@ -4,7 +4,6 @@
 //! PipeLayer-without-pipeline in Figs. 15/16 uses this schedule with the
 //! same arrays and cycle time.
 
-
 /// Sequential (non-pipelined) schedule generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NonPipelined {
@@ -29,7 +28,10 @@ impl NonPipelined {
     ///
     /// Panics unless `n` is a positive multiple of `B`.
     pub fn training_cycles(&self, n: u64) -> u64 {
-        assert!(n > 0 && n % self.b as u64 == 0, "n must be a multiple of B");
+        assert!(
+            n > 0 && n.is_multiple_of(self.b as u64),
+            "n must be a multiple of B"
+        );
         let mut cycle = 0u64;
         for img in 0..n {
             cycle += self.l as u64; // forward

@@ -131,7 +131,12 @@ mod tests {
         let perf = PerfModel::new(&net);
         let pipe = perf.training(640, true);
         let seq = perf.training(640, false);
-        assert!(pipe.time_s < seq.time_s / 4.0, "{} vs {}", pipe.time_s, seq.time_s);
+        assert!(
+            pipe.time_s < seq.time_s / 4.0,
+            "{} vs {}",
+            pipe.time_s,
+            seq.time_s
+        );
         assert_eq!(pipe.energy_j, seq.energy_j);
     }
 
@@ -158,7 +163,10 @@ mod tests {
     fn gops_positive_and_plausible() {
         let net = model_net(&zoo::alexnet());
         let g = PerfModel::new(&net).training_gops(6400);
-        assert!(g > 100.0, "AlexNet training should sustain >100 GOPS, got {g}");
+        assert!(
+            g > 100.0,
+            "AlexNet training should sustain >100 GOPS, got {g}"
+        );
         assert!(g < 1e9, "GOPS implausibly high: {g}");
     }
 

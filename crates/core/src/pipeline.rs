@@ -89,12 +89,15 @@ impl PipelineSim {
             for i in 0..b {
                 let img = batch * b + i;
                 for layer in 1..=l {
-                    events.entry(s + i + layer - 1).or_default().push((
-                        Stage::Forward(layer as usize),
-                        img,
-                    ));
+                    events
+                        .entry(s + i + layer - 1)
+                        .or_default()
+                        .push((Stage::Forward(layer as usize), img));
                 }
-                events.entry(s + i + l).or_default().push((Stage::Error, img));
+                events
+                    .entry(s + i + l)
+                    .or_default()
+                    .push((Stage::Error, img));
                 for m in (1..=l).rev() {
                     events
                         .entry(s + i + 2 * l - m + 1)
@@ -154,7 +157,11 @@ impl PipelineSim {
                 }
             }
             for &(idx, kind, tag) in &reads {
-                let buf = if kind == 'd' { &mut d_buf[idx] } else { &mut delta_buf[idx] };
+                let buf = if kind == 'd' {
+                    &mut d_buf[idx]
+                } else {
+                    &mut delta_buf[idx]
+                };
                 if !buf.read(tag, cycle) {
                     violations += 1;
                 }
@@ -167,7 +174,11 @@ impl PipelineSim {
                 }
             }
             for &(idx, kind, tag) in &writes {
-                let buf = if kind == 'd' { &mut d_buf[idx] } else { &mut delta_buf[idx] };
+                let buf = if kind == 'd' {
+                    &mut d_buf[idx]
+                } else {
+                    &mut delta_buf[idx]
+                };
                 buf.write(tag, cycle);
             }
 
@@ -195,8 +206,7 @@ impl PipelineSim {
     pub fn simulate_testing(&self, n: u64, trace_cycles: usize) -> SimOutcome {
         assert!(n > 0, "empty workload");
         let l = self.l as u64;
-        let mut d_buf: Vec<CircularBuffer> =
-            (0..self.l).map(|_| CircularBuffer::new(1)).collect();
+        let mut d_buf: Vec<CircularBuffer> = (0..self.l).map(|_| CircularBuffer::new(1)).collect();
         let mut violations = 0u64;
         let mut peak = 0usize;
         let mut trace = Vec::new();
@@ -226,8 +236,10 @@ impl PipelineSim {
                 d_buf[(layer - 1) as usize].write(img, cycle);
             }
             if trace.len() < trace_cycles {
-                let row: Vec<String> =
-                    active.iter().map(|(layer, img)| format!("A{layer}[{img}]")).collect();
+                let row: Vec<String> = active
+                    .iter()
+                    .map(|(layer, img)| format!("A{layer}[{img}]"))
+                    .collect();
                 trace.push(format!("T{cycle}: {}", row.join(" ")));
             }
         }
@@ -314,7 +326,10 @@ mod tests {
     fn testing_matches_formula_and_is_clean() {
         let sim = PipelineSim::new(8, 64);
         let out = sim.simulate_testing(1000, 0);
-        assert_eq!(out.cycles, Analysis::new(8, 64).testing_cycles_pipelined(1000));
+        assert_eq!(
+            out.cycles,
+            Analysis::new(8, 64).testing_cycles_pipelined(1000)
+        );
         assert_eq!(out.dependency_violations, 0);
         assert_eq!(out.peak_parallel_stages, 8);
     }

@@ -1,0 +1,194 @@
+//! Spare remapping and graceful degradation for faulty crossbar columns.
+//!
+//! The program-and-verify path (`pipelayer_reram::fault`) reports which
+//! cells a write could not bring to their targets. This module is the
+//! controller-side response: each matrix owns a bounded budget of spare bit
+//! lines ([`SpareBudget`]); a [`RepairController`] consumes the
+//! unrecoverable-cell reports, remaps whole faulty columns onto spares
+//! while they last, and *masks* columns off (a zero output unit, not a
+//! corrupted one) once the budget is exhausted — so the functional model
+//! keeps training, degraded but never silently wrong.
+//!
+//! Column granularity matches how real ReRAM macros provision redundancy:
+//! spare bit lines share the word-line drivers, so a column swap is a mux
+//! setting, while arbitrary cell-level steering is not implementable.
+
+use pipelayer_reram::{ProgramReport, ReramMatrix};
+
+/// Redundancy provisioned per mapped matrix.
+///
+/// The default is **no spares** — fault tolerance is strictly opt-in, and
+/// every calibrated baseline number is unchanged until a budget is set. The
+/// conventional provision for memory macros is 2–4 spare bit lines per
+/// 128-wide array ([`SpareBudget::typical`] uses 4, ~3% area).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpareBudget {
+    /// Spare bit lines available to each mapped matrix.
+    pub cols_per_matrix: usize,
+}
+
+impl SpareBudget {
+    /// No redundancy: unrecoverable columns go straight to masking.
+    pub fn none() -> Self {
+        SpareBudget { cols_per_matrix: 0 }
+    }
+
+    /// A budget of `n` spare columns per matrix.
+    pub fn with_cols(n: usize) -> Self {
+        SpareBudget { cols_per_matrix: n }
+    }
+
+    /// The conventional macro provision: 4 spare bit lines per matrix.
+    pub fn typical() -> Self {
+        Self::with_cols(4)
+    }
+
+    /// `true` if no spares are provisioned.
+    pub fn is_none(&self) -> bool {
+        self.cols_per_matrix == 0
+    }
+}
+
+/// What one repair pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Columns remapped onto spare bit lines this pass.
+    pub remapped: Vec<usize>,
+    /// Columns masked off this pass (spares exhausted).
+    pub masked: Vec<usize>,
+}
+
+/// Tracks spare consumption for one matrix across its lifetime and decides,
+/// per unrecoverable column, between remap and mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairController {
+    budget: usize,
+    remapped: Vec<usize>,
+    masked: Vec<usize>,
+}
+
+impl RepairController {
+    /// A controller over `budget` spare columns.
+    pub fn new(budget: SpareBudget) -> Self {
+        RepairController {
+            budget: budget.cols_per_matrix,
+            remapped: Vec::new(),
+            masked: Vec::new(),
+        }
+    }
+
+    /// Spare columns still unused.
+    pub fn spares_left(&self) -> usize {
+        self.budget - self.remapped.len()
+    }
+
+    /// Columns living on spares so far.
+    pub fn remapped(&self) -> &[usize] {
+        &self.remapped
+    }
+
+    /// Columns masked off so far.
+    pub fn masked(&self) -> &[usize] {
+        &self.masked
+    }
+
+    /// Applies `report` to `matrix`: every logical output column with an
+    /// unrecoverable cell is remapped onto a spare (its faults cleared)
+    /// while spares last, then masked. Columns already handled in earlier
+    /// passes consume nothing further.
+    pub fn process(&mut self, matrix: &mut ReramMatrix, report: &ProgramReport) -> RepairOutcome {
+        let mut outcome = RepairOutcome::default();
+        let mut cols: Vec<usize> = report.unrecoverable.iter().map(|u| u.col).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for col in cols {
+            if self.remapped.contains(&col) || self.masked.contains(&col) {
+                continue;
+            }
+            if self.spares_left() > 0 {
+                matrix.repair_outputs(&[col]);
+                self.remapped.push(col);
+                outcome.remapped.push(col);
+            } else {
+                matrix.mask_output(col);
+                self.masked.push(col);
+                outcome.masked.push(col);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipelayer_reram::{FaultModel, ReramParams, VerifyPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn faulty_matrix() -> ReramMatrix {
+        let w = vec![0.5f32; 8 * 16];
+        ReramMatrix::program_with_faults(
+            &w,
+            8,
+            16,
+            &ReramParams::default(),
+            &FaultModel::with_stuck_rate(0.05),
+            21,
+        )
+    }
+
+    #[test]
+    fn remaps_within_budget_then_masks() {
+        let mut m = faulty_matrix();
+        let w = vec![0.5f32; 8 * 16];
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = m.write_verify(&w, &VerifyPolicy::with_attempts(2), &mut rng);
+        let bad_cols: Vec<usize> = {
+            let mut c: Vec<usize> = report.unrecoverable.iter().map(|u| u.col).collect();
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        assert!(bad_cols.len() >= 2, "fault rate should hit several columns");
+
+        let mut ctl = RepairController::new(SpareBudget::with_cols(1));
+        let outcome = ctl.process(&mut m, &report);
+        assert_eq!(outcome.remapped.len(), 1);
+        assert_eq!(outcome.masked.len(), bad_cols.len() - 1);
+        assert_eq!(ctl.spares_left(), 0);
+        assert_eq!(m.masked_outputs(), outcome.masked);
+    }
+
+    #[test]
+    fn repeated_reports_consume_nothing_extra() {
+        let mut m = faulty_matrix();
+        let w = vec![0.5f32; 8 * 16];
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = VerifyPolicy::with_attempts(2);
+        let report = m.write_verify(&w, &policy, &mut rng);
+        let mut ctl = RepairController::new(SpareBudget::typical());
+        let first = ctl.process(&mut m, &report);
+        let spares_after_first = ctl.spares_left();
+
+        // A second verified write only re-reports masked columns (the
+        // remapped ones are fault-free now); nothing new is consumed.
+        let report2 = m.write_verify(&w, &policy, &mut rng);
+        let second = ctl.process(&mut m, &report2);
+        assert!(second.remapped.is_empty() && second.masked.is_empty());
+        assert_eq!(ctl.spares_left(), spares_after_first);
+        assert_eq!(ctl.remapped(), first.remapped);
+    }
+
+    #[test]
+    fn zero_budget_masks_everything() {
+        let mut m = faulty_matrix();
+        let w = vec![0.5f32; 8 * 16];
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = m.write_verify(&w, &VerifyPolicy::with_attempts(2), &mut rng);
+        let mut ctl = RepairController::new(SpareBudget::none());
+        let outcome = ctl.process(&mut m, &report);
+        assert!(outcome.remapped.is_empty());
+        assert!(!outcome.masked.is_empty());
+    }
+}

@@ -56,8 +56,8 @@ impl<'a> TimingModel<'a> {
         let p = self.params();
         let err = layer.reads_error as f64 * p.read_phase_ns();
         let grad = layer.reads_gradient as f64 * p.read_phase_ns();
-        let d_copy = layer.in_words.div_ceil(p.morphable_write_width as u64) as f64
-            * p.write_latency_ns;
+        let d_copy =
+            layer.in_words.div_ceil(p.morphable_write_width as u64) as f64 * p.write_latency_ns;
         err + grad + self.mem_write_ns(layer.delta_words) + d_copy
     }
 
@@ -100,10 +100,16 @@ impl<'a> TimingModel<'a> {
     /// written back row-by-row — all arrays reprogram in parallel
     /// (Fig. 14b), so the cycle costs one read phase plus two row-serial
     /// array programming passes.
+    ///
+    /// With fault tolerance on, the write-back passes stretch by the
+    /// expected pulse multiplier (verify retries re-pulse rows) and each
+    /// programming attempt appends a row-serial verify read pass.
     pub fn update_cycle_ns(&self) -> f64 {
         let p = self.params();
+        let cfg = &self.net.config;
         let reprogram = p.xbar_size as f64 * p.write_latency_ns;
-        2.0 * reprogram + p.read_phase_ns()
+        let verify_reads = cfg.verify_reads_per_cell_write() * p.read_phase_ns();
+        2.0 * reprogram * cfg.write_pulse_multiplier() + p.read_phase_ns() + verify_reads
     }
 }
 
@@ -130,7 +136,11 @@ mod tests {
 
     #[test]
     fn training_cycle_at_least_testing_cycle() {
-        for spec in [zoo::spec_mnist_0(), zoo::alexnet(), zoo::vgg(zoo::VggVariant::A)] {
+        for spec in [
+            zoo::spec_mnist_0(),
+            zoo::alexnet(),
+            zoo::vgg(zoo::VggVariant::A),
+        ] {
             let m = mapped(&spec);
             let t = TimingModel::new(&m);
             assert!(t.cycle_training_ns() >= t.cycle_testing_ns());
@@ -184,5 +194,30 @@ mod tests {
         assert!(u > 0.0);
         // The update must not dwarf the pipeline: it is one cycle per batch.
         assert!(u < 100.0 * t.cycle_training_ns());
+    }
+
+    #[test]
+    fn verify_retries_stretch_the_update_cycle() {
+        use crate::repair::SpareBudget;
+        use pipelayer_reram::{FaultModel, VerifyPolicy};
+        let spec = zoo::spec_mnist_a();
+        let base = mapped(&spec);
+        let cfg = PipeLayerConfig::default().with_fault_tolerance(
+            FaultModel::with_stuck_rate(1e-3),
+            VerifyPolicy {
+                max_attempts: 5,
+                write_sigma: 0.5,
+            },
+            SpareBudget::typical(),
+        );
+        let ft = MappedNetwork::from_spec(&spec, cfg);
+        let u_base = TimingModel::new(&base).update_cycle_ns();
+        let u_ft = TimingModel::new(&ft).update_cycle_ns();
+        assert!(u_ft > u_base, "{u_ft} vs {u_base}");
+        // Forward timing is untouched: reads are not retried.
+        assert_eq!(
+            TimingModel::new(&ft).cycle_testing_ns(),
+            TimingModel::new(&base).cycle_testing_ns()
+        );
     }
 }

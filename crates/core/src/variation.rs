@@ -25,9 +25,19 @@ pub fn corrupt_network(net: &mut Network, model: &VariationModel, params: &Reram
     let mut salt = seed;
     for layer in net.layers_mut() {
         if let Some(p) = layer.params_mut() {
-            let w = model.perturb_weights(p.weight.as_slice(), params.data_bits, params.cell_bits, salt);
+            let w = model.perturb_weights(
+                p.weight.as_slice(),
+                params.data_bits,
+                params.cell_bits,
+                salt,
+            );
             p.weight.as_mut_slice().copy_from_slice(&w);
-            let b = model.perturb_weights(p.bias.as_slice(), params.data_bits, params.cell_bits, salt ^ 0xb1a5);
+            let b = model.perturb_weights(
+                p.bias.as_slice(),
+                params.data_bits,
+                params.cell_bits,
+                salt ^ 0xb1a5,
+            );
             p.bias.as_mut_slice().copy_from_slice(&b);
             salt = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
         }

@@ -55,10 +55,10 @@ fn prototypes(seed: u64) -> Vec<Tensor> {
     let pool: Vec<(f32, f32, f32, f32)> = (0..12)
         .map(|_| {
             (
-                rng.random_range(5.0..23.0),  // cy
-                rng.random_range(5.0..23.0),  // cx
-                rng.random_range(1.4..3.0),   // sigma
-                rng.random_range(0.6..1.0),   // amplitude
+                rng.random_range(5.0..23.0), // cy
+                rng.random_range(5.0..23.0), // cx
+                rng.random_range(1.4..3.0),  // sigma
+                rng.random_range(0.6..1.0),  // amplitude
             )
         })
         .collect();
@@ -113,7 +113,10 @@ impl SyntheticMnist {
     ///
     /// Panics if either count is zero.
     pub fn generate(n_train: usize, n_test: usize, seed: u64) -> Self {
-        assert!(n_train > 0 && n_test > 0, "need at least one sample per split");
+        assert!(
+            n_train > 0 && n_test > 0,
+            "need at least one sample per split"
+        );
         let protos = prototypes(seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut make = |n: usize| {
@@ -199,7 +202,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 70, "only {correct}/100 nearest-prototype correct");
+        assert!(
+            correct >= 70,
+            "only {correct}/100 nearest-prototype correct"
+        );
     }
 
     #[test]

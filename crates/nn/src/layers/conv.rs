@@ -50,7 +50,10 @@ impl Conv2d {
         pad: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0, "invalid conv geometry");
+        assert!(
+            c_in > 0 && c_out > 0 && k > 0 && stride > 0,
+            "invalid conv geometry"
+        );
         let fan_in = c_in * k * k;
         Conv2d {
             weight: init::he_normal(&[c_out, c_in, k, k], fan_in, rng),
@@ -108,8 +111,7 @@ impl Layer for Conv2d {
             .as_ref()
             .expect("Conv2d::backward called before forward");
         let k = self.kernel();
-        let (dw, db) =
-            ops::conv2d_backward_weights(input, delta, (k, k), self.stride, self.pad);
+        let (dw, db) = ops::conv2d_backward_weights(input, delta, (k, k), self.stride, self.pad);
         self.dweight += &dw;
         self.dbias += &db;
         ops::conv2d_backward_input(

@@ -59,6 +59,35 @@ pub fn accuracy(net: &Network, data: &Dataset) -> f32 {
     net.accuracy(&data.images, &data.labels)
 }
 
+/// Accuracy lost relative to a baseline, in percentage points (positive
+/// means the degraded run is worse). The unit the device-robustness
+/// studies (variation sweep, fault-tolerance ablation) report in.
+pub fn accuracy_drop_points(baseline: f32, degraded: f32) -> f32 {
+    (baseline - degraded) * 100.0
+}
+
+/// A baseline-vs-degraded accuracy comparison for robustness studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationReport {
+    /// Accuracy of the unperturbed reference run.
+    pub baseline: f32,
+    /// Accuracy of the degraded (faulty / corrupted) run.
+    pub degraded: f32,
+}
+
+impl DegradationReport {
+    /// Accuracy lost, percentage points (positive = worse).
+    pub fn drop_points(&self) -> f32 {
+        accuracy_drop_points(self.baseline, self.degraded)
+    }
+
+    /// `true` if the degraded run stays within `tolerance_points` of the
+    /// baseline — the pass criterion of the fault-tolerance round trip.
+    pub fn within(&self, tolerance_points: f32) -> bool {
+        self.drop_points() <= tolerance_points
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +102,24 @@ mod tests {
         let total: usize = cm.counts().iter().map(|r| r.iter().sum::<usize>()).sum();
         assert_eq!(total, 20);
         assert!((cm.accuracy() - accuracy(&net, &data.test)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degradation_report_measures_in_points() {
+        let r = DegradationReport {
+            baseline: 0.92,
+            degraded: 0.895,
+        };
+        assert!((r.drop_points() - 2.5).abs() < 1e-4);
+        assert!(r.within(3.0));
+        assert!(!r.within(2.0));
+        // An improvement is a negative drop and always "within".
+        let better = DegradationReport {
+            baseline: 0.5,
+            degraded: 0.6,
+        };
+        assert!(better.drop_points() < 0.0);
+        assert!(better.within(0.0));
     }
 
     #[test]

@@ -281,7 +281,7 @@ mod tests {
         let mut net1 = xor_net(5);
         let mut net2 = xor_net(5);
         let x = Tensor::from_vec(&[2], vec![0.3, 0.7]);
-        net1.train_batch(&[x.clone()], &[1], 0.1);
+        net1.train_batch(std::slice::from_ref(&x), &[1], 0.1);
         net2.train_batch(&[x.clone(), x.clone()], &[1, 1], 0.1);
         let y1 = net1.infer(&x);
         let y2 = net2.infer(&x);
@@ -318,9 +318,14 @@ mod tests {
         let x = Tensor::from_vec(&[2], vec![0.4, -0.6]);
         let mut a = xor_net(9);
         let mut b = xor_net(9);
-        a.train_batch(&[x.clone()], &[1], 0.2);
+        a.train_batch(std::slice::from_ref(&x), &[1], 0.2);
         let mut states = OptStates::for_network(&mut b);
-        b.train_batch_opt(&[x.clone()], &[1], &Optimizer::sgd(0.2), &mut states);
+        b.train_batch_opt(
+            std::slice::from_ref(&x),
+            &[1],
+            &Optimizer::sgd(0.2),
+            &mut states,
+        );
         assert!(a.infer(&x).allclose(&b.infer(&x), 1e-5));
     }
 

@@ -140,7 +140,10 @@ mod tests {
     fn momentum_accelerates_small_lr() {
         let plain = run(Optimizer::sgd(0.02), 40);
         let fast = run(Optimizer::with_momentum(0.02, 0.9), 40);
-        assert!(fast < plain, "momentum should converge faster: {fast} vs {plain}");
+        assert!(
+            fast < plain,
+            "momentum should converge faster: {fast} vs {plain}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl fmt::Display for DecodeError {
                 write!(f, "tensor {index} shape mismatch")
             }
             DecodeError::CountMismatch { found, expected } => {
-                write!(f, "checkpoint has {found} tensors, network needs {expected}")
+                write!(
+                    f,
+                    "checkpoint has {found} tensors, network needs {expected}"
+                )
             }
         }
     }

@@ -118,7 +118,11 @@ impl ResolvedLayer {
 
 impl NetSpec {
     /// Creates a spec.
-    pub fn new(name: impl Into<String>, input: (usize, usize, usize), layers: Vec<LayerSpec>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        input: (usize, usize, usize),
+        layers: Vec<LayerSpec>,
+    ) -> Self {
         NetSpec {
             name: name.into(),
             input,
@@ -137,7 +141,12 @@ impl NetSpec {
         let mut shape = self.input;
         for spec in &self.layers {
             match *spec {
-                LayerSpec::Conv { k, c_out, stride, pad } => {
+                LayerSpec::Conv {
+                    k,
+                    c_out,
+                    stride,
+                    pad,
+                } => {
                     let (c_in, h, w) = shape;
                     let ho = conv_output_len(h, k, stride, pad);
                     let wo = conv_output_len(w, k, stride, pad);
@@ -232,7 +241,12 @@ impl NetSpec {
         let mut flattened = false;
         for spec in &self.layers {
             match *spec {
-                LayerSpec::Conv { k, c_out, stride, pad } => {
+                LayerSpec::Conv {
+                    k,
+                    c_out,
+                    stride,
+                    pad,
+                } => {
                     let (c_in, h, w) = shape;
                     net.push(Conv2d::new(c_in, c_out, k, stride, pad, rng));
                     weighted_seen += 1;
@@ -291,10 +305,28 @@ mod tests {
             "lenet",
             (1, 28, 28),
             vec![
-                LayerSpec::Conv { k: 5, c_out: 20, stride: 1, pad: 0 },
-                LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
-                LayerSpec::Conv { k: 5, c_out: 50, stride: 1, pad: 0 },
-                LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+                LayerSpec::Conv {
+                    k: 5,
+                    c_out: 20,
+                    stride: 1,
+                    pad: 0,
+                },
+                LayerSpec::Pool {
+                    k: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                },
+                LayerSpec::Conv {
+                    k: 5,
+                    c_out: 50,
+                    stride: 1,
+                    pad: 0,
+                },
+                LayerSpec::Pool {
+                    k: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                },
                 LayerSpec::Fc { n_out: 500 },
                 LayerSpec::Fc { n_out: 10 },
             ],
@@ -320,7 +352,12 @@ mod tests {
         let spec = NetSpec::new(
             "fig4",
             (28, 28, 28),
-            vec![LayerSpec::Conv { k: 5, c_out: 28, stride: 1, pad: 0 }],
+            vec![LayerSpec::Conv {
+                k: 5,
+                c_out: 28,
+                stride: 1,
+                pad: 0,
+            }],
         );
         let l = &spec.resolve()[0];
         assert_eq!(l.matrix_rows, 5 * 5 * 28 + 1);
@@ -341,7 +378,10 @@ mod tests {
         assert_eq!(layers[0].macs_forward, 288_000);
         // fc to 10: 500*10
         assert_eq!(layers[3].macs_forward, 5_000);
-        assert_eq!(spec.ops_forward(), layers.iter().map(|l| l.ops_forward()).sum());
+        assert_eq!(
+            spec.ops_forward(),
+            layers.iter().map(|l| l.ops_forward()).sum()
+        );
         assert_eq!(spec.ops_backward(), 2 * spec.ops_forward());
     }
 
@@ -359,8 +399,17 @@ mod tests {
             "tiny",
             (1, 6, 6),
             vec![
-                LayerSpec::Conv { k: 3, c_out: 4, stride: 1, pad: 0 },
-                LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+                LayerSpec::Conv {
+                    k: 3,
+                    c_out: 4,
+                    stride: 1,
+                    pad: 0,
+                },
+                LayerSpec::Pool {
+                    k: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                },
                 LayerSpec::Fc { n_out: 3 },
             ],
         );
@@ -368,8 +417,8 @@ mod tests {
         let x = pipelayer_tensor::Tensor::ones(&[1, 6, 6]);
         let y = net.forward(&x);
         assert_eq!(y.dims(), &[3]);
-        let loss0 = net.train_batch(&[x.clone()], &[1], 0.1);
-        let loss1 = net.train_batch(&[x.clone()], &[1], 0.1);
+        let loss0 = net.train_batch(std::slice::from_ref(&x), &[1], 0.1);
+        let loss1 = net.train_batch(std::slice::from_ref(&x), &[1], 0.1);
         assert!(loss1 < loss0);
     }
 
@@ -386,7 +435,11 @@ mod tests {
         NetSpec::new(
             "bad",
             (1, 4, 4),
-            vec![LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max }],
+            vec![LayerSpec::Pool {
+                k: 2,
+                stride: 2,
+                kind: PoolKind::Max,
+            }],
         )
         .resolve();
     }

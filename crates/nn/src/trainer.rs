@@ -79,29 +79,30 @@ impl Trainer {
     /// empty.
     pub fn fit(&self, net: &mut Network, data: &SyntheticMnist) -> TrainReport {
         let cfg = &self.config;
-        assert!(cfg.epochs > 0 && cfg.batch_size > 0, "degenerate train config");
+        assert!(
+            cfg.epochs > 0 && cfg.batch_size > 0,
+            "degenerate train config"
+        );
         assert!(!data.train.is_empty(), "empty training set");
 
         let n = data.train.len();
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(0xD1CE);
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-        let mut states = self
-            .optimizer
-            .as_ref()
-            .map(|_| OptStates::for_network(net));
+        let mut states = self.optimizer.as_ref().map(|_| OptStates::for_network(net));
 
         for _ in 0..cfg.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg.batch_size) {
-                let images: Vec<_> = chunk.iter().map(|&i| data.train.images[i].clone()).collect();
+                let images: Vec<_> = chunk
+                    .iter()
+                    .map(|&i| data.train.images[i].clone())
+                    .collect();
                 let labels: Vec<_> = chunk.iter().map(|&i| data.train.labels[i]).collect();
                 epoch_loss += match (&self.optimizer, &mut states) {
-                    (Some(opt), Some(states)) => {
-                        net.train_batch_opt(&images, &labels, opt, states)
-                    }
+                    (Some(opt), Some(states)) => net.train_batch_opt(&images, &labels, opt, states),
                     _ => net.train_batch(&images, &labels, cfg.lr),
                 };
                 batches += 1;

@@ -5,9 +5,23 @@
 
 use crate::spec::{LayerSpec, NetSpec, PoolKind};
 
-const CONV3: fn(usize) -> LayerSpec = |c| LayerSpec::Conv { k: 3, c_out: c, stride: 1, pad: 1 };
-const CONV1: fn(usize) -> LayerSpec = |c| LayerSpec::Conv { k: 1, c_out: c, stride: 1, pad: 0 };
-const POOL2: LayerSpec = LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max };
+const CONV3: fn(usize) -> LayerSpec = |c| LayerSpec::Conv {
+    k: 3,
+    c_out: c,
+    stride: 1,
+    pad: 1,
+};
+const CONV1: fn(usize) -> LayerSpec = |c| LayerSpec::Conv {
+    k: 1,
+    c_out: c,
+    stride: 1,
+    pad: 0,
+};
+const POOL2: LayerSpec = LayerSpec::Pool {
+    k: 2,
+    stride: 2,
+    kind: PoolKind::Max,
+};
 
 /// AlexNet (one-tower formulation): 5 conv + 3 FC layers, 227×227×3 input.
 pub fn alexnet() -> NetSpec {
@@ -15,14 +29,51 @@ pub fn alexnet() -> NetSpec {
         "AlexNet",
         (3, 227, 227),
         vec![
-            LayerSpec::Conv { k: 11, c_out: 96, stride: 4, pad: 0 }, // -> 55x55
-            LayerSpec::Pool { k: 3, stride: 2, kind: PoolKind::Max }, // -> 27x27
-            LayerSpec::Conv { k: 5, c_out: 256, stride: 1, pad: 2 }, // -> 27x27
-            LayerSpec::Pool { k: 3, stride: 2, kind: PoolKind::Max }, // -> 13x13
-            LayerSpec::Conv { k: 3, c_out: 384, stride: 1, pad: 1 },
-            LayerSpec::Conv { k: 3, c_out: 384, stride: 1, pad: 1 },
-            LayerSpec::Conv { k: 3, c_out: 256, stride: 1, pad: 1 },
-            LayerSpec::Pool { k: 3, stride: 2, kind: PoolKind::Max }, // -> 6x6
+            LayerSpec::Conv {
+                k: 11,
+                c_out: 96,
+                stride: 4,
+                pad: 0,
+            }, // -> 55x55
+            LayerSpec::Pool {
+                k: 3,
+                stride: 2,
+                kind: PoolKind::Max,
+            }, // -> 27x27
+            LayerSpec::Conv {
+                k: 5,
+                c_out: 256,
+                stride: 1,
+                pad: 2,
+            }, // -> 27x27
+            LayerSpec::Pool {
+                k: 3,
+                stride: 2,
+                kind: PoolKind::Max,
+            }, // -> 13x13
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 384,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 384,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 256,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::Pool {
+                k: 3,
+                stride: 2,
+                kind: PoolKind::Max,
+            }, // -> 6x6
             LayerSpec::Fc { n_out: 4096 },
             LayerSpec::Fc { n_out: 4096 },
             LayerSpec::Fc { n_out: 1000 },
@@ -156,7 +207,7 @@ mod tests {
     fn vgg_spatial_pyramid() {
         let layers = vgg(VggVariant::A).resolve();
         // After the five pooled blocks the map is 512x7x7.
-        let last_conv = layers.iter().filter(|l| l.is_conv).next_back().unwrap();
+        let last_conv = layers.iter().rfind(|l| l.is_conv).unwrap();
         assert_eq!(last_conv.post_pool_shape, (512, 7, 7));
         let fc6 = layers.iter().find(|l| !l.is_conv).unwrap();
         assert_eq!(fc6.matrix_rows, 512 * 7 * 7 + 1);
@@ -175,7 +226,10 @@ mod tests {
 
     #[test]
     fn vgg_flops_ordering_matches_depth() {
-        let ops: Vec<u64> = VggVariant::ALL.iter().map(|&v| vgg(v).ops_forward()).collect();
+        let ops: Vec<u64> = VggVariant::ALL
+            .iter()
+            .map(|&v| vgg(v).ops_forward())
+            .collect();
         // A < B < C < D < E in forward cost.
         for w in ops.windows(2) {
             assert!(w[0] < w[1], "flops not increasing: {ops:?}");

@@ -54,10 +54,28 @@ pub fn spec_mnist_0() -> NetSpec {
         "Mnist-0",
         MNIST_INPUT,
         vec![
-            LayerSpec::Conv { k: 5, c_out: 20, stride: 1, pad: 0 },
-            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
-            LayerSpec::Conv { k: 5, c_out: 50, stride: 1, pad: 0 },
-            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Conv {
+                k: 5,
+                c_out: 20,
+                stride: 1,
+                pad: 0,
+            },
+            LayerSpec::Pool {
+                k: 2,
+                stride: 2,
+                kind: PoolKind::Max,
+            },
+            LayerSpec::Conv {
+                k: 5,
+                c_out: 50,
+                stride: 1,
+                pad: 0,
+            },
+            LayerSpec::Pool {
+                k: 2,
+                stride: 2,
+                kind: PoolKind::Max,
+            },
             LayerSpec::Fc { n_out: 500 },
             LayerSpec::Fc { n_out: 10 },
         ],
@@ -85,8 +103,17 @@ pub fn spec_mc() -> NetSpec {
         "M-C",
         MNIST_INPUT,
         vec![
-            LayerSpec::Conv { k: 5, c_out: 8, stride: 1, pad: 0 },
-            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Conv {
+                k: 5,
+                c_out: 8,
+                stride: 1,
+                pad: 0,
+            },
+            LayerSpec::Pool {
+                k: 2,
+                stride: 2,
+                kind: PoolKind::Max,
+            },
             LayerSpec::Fc { n_out: 64 },
             LayerSpec::Fc { n_out: 10 },
         ],
@@ -100,12 +127,40 @@ pub fn spec_c4() -> NetSpec {
         "C-4",
         MNIST_INPUT,
         vec![
-            LayerSpec::Conv { k: 3, c_out: 8, stride: 1, pad: 1 },
-            LayerSpec::Conv { k: 3, c_out: 8, stride: 1, pad: 1 },
-            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
-            LayerSpec::Conv { k: 3, c_out: 16, stride: 1, pad: 1 },
-            LayerSpec::Conv { k: 3, c_out: 16, stride: 1, pad: 1 },
-            LayerSpec::Pool { k: 2, stride: 2, kind: PoolKind::Max },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 8,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 8,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::Pool {
+                k: 2,
+                stride: 2,
+                kind: PoolKind::Max,
+            },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 16,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 16,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::Pool {
+                k: 2,
+                stride: 2,
+                kind: PoolKind::Max,
+            },
             LayerSpec::Fc { n_out: 10 },
         ],
     )
@@ -113,7 +168,12 @@ pub fn spec_c4() -> NetSpec {
 
 /// The four Table 3 specs, in order.
 pub fn mnist_net_specs() -> Vec<NetSpec> {
-    vec![spec_mnist_a(), spec_mnist_b(), spec_mnist_c(), spec_mnist_0()]
+    vec![
+        spec_mnist_a(),
+        spec_mnist_b(),
+        spec_mnist_c(),
+        spec_mnist_0(),
+    ]
 }
 
 fn built(spec: NetSpec, seed: u64) -> Network {
@@ -198,7 +258,14 @@ mod tests {
 
     #[test]
     fn mlps_have_no_convs() {
-        for spec in [spec_mnist_a(), spec_mnist_b(), spec_mnist_c(), spec_m1(), spec_m2(), spec_m3()] {
+        for spec in [
+            spec_mnist_a(),
+            spec_mnist_b(),
+            spec_mnist_c(),
+            spec_m1(),
+            spec_m2(),
+            spec_m3(),
+        ] {
             assert!(spec.is_mlp(), "{} should be an MLP", spec.name);
         }
         for spec in [spec_mnist_0(), spec_mc(), spec_c4()] {
@@ -208,11 +275,7 @@ mod tests {
 
     #[test]
     fn c4_has_four_conv_layers() {
-        let convs = spec_c4()
-            .resolve()
-            .iter()
-            .filter(|l| l.is_conv)
-            .count();
+        let convs = spec_c4().resolve().iter().filter(|l| l.is_conv).count();
         assert_eq!(convs, 4);
     }
 

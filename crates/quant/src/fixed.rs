@@ -133,7 +133,11 @@ mod tests {
         let mut vals: Vec<i32> = q2.as_slice().iter().map(|&v| (v * 1000.0) as i32).collect();
         vals.sort_unstable();
         vals.dedup();
-        assert!(vals.len() <= 3, "2-bit should leave ≤3 levels, got {}", vals.len());
+        assert!(
+            vals.len() <= 3,
+            "2-bit should leave ≤3 levels, got {}",
+            vals.len()
+        );
     }
 
     #[test]
@@ -160,7 +164,9 @@ mod tests {
             (8..16.min(qt.numel()))
                 .map(|i| (qt.as_slice()[i] - t.as_slice()[i]).abs())
                 .sum::<f32>()
-                + (4..8).map(|i| (qt.as_slice()[i] - t.as_slice()[i]).abs()).sum::<f32>()
+                + (4..8)
+                    .map(|i| (qt.as_slice()[i] - t.as_slice()[i]).abs())
+                    .sum::<f32>()
         };
         assert!(
             err(&per_channel) < err(&per_tensor),

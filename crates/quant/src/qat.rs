@@ -44,7 +44,10 @@ pub fn train_at_resolution(
     cfg: &TrainConfig,
     bits: u8,
 ) -> QatReport {
-    assert!(cfg.epochs > 0 && cfg.batch_size > 0, "degenerate train config");
+    assert!(
+        cfg.epochs > 0 && cfg.batch_size > 0,
+        "degenerate train config"
+    );
     assert!(!data.train.is_empty(), "empty training set");
     let _ = Quantizer::new(bits); // validate the width eagerly
 
@@ -60,7 +63,10 @@ pub fn train_at_resolution(
         let mut loss_sum = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let images: Vec<_> = chunk.iter().map(|&i| data.train.images[i].clone()).collect();
+            let images: Vec<_> = chunk
+                .iter()
+                .map(|&i| data.train.images[i].clone())
+                .collect();
             let labels: Vec<_> = chunk.iter().map(|&i| data.train.labels[i]).collect();
             loss_sum += net.train_batch(&images, &labels, cfg.lr);
             // Write-back lands on the cell grid.

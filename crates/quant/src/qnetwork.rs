@@ -114,7 +114,11 @@ pub struct ResolutionPoint {
 /// # Panics
 ///
 /// Panics if `data` is empty.
-pub fn resolution_sweep(net: &mut Network, data: &Dataset, bit_widths: &[u8]) -> Vec<ResolutionPoint> {
+pub fn resolution_sweep(
+    net: &mut Network,
+    data: &Dataset,
+    bit_widths: &[u8],
+) -> Vec<ResolutionPoint> {
     assert!(!data.is_empty(), "empty evaluation dataset");
     let snapshot = snapshot_params(net);
     let float_acc = net.accuracy(&data.images, &data.labels);

@@ -11,6 +11,8 @@
 
 use crate::crossbar::Crossbar;
 use crate::energy::ReramParams;
+use crate::fault::{FaultMap, FaultModel, ProgramReport, VerifyPolicy};
+use rand::Rng;
 
 /// A float matrix programmed onto ReRAM crossbars, supporting exact
 /// fixed-point matrix–vector products and in-place weight updates.
@@ -30,6 +32,9 @@ use crate::energy::ReramParams;
 /// assert!((y[0] - 0.5).abs() < 1e-3);
 /// assert!((y[1] - 1.0).abs() < 1e-3);
 /// ```
+/// Per-segment-group `(positive, negative)` level matrices, `[row][col]`.
+type GroupLevels = Vec<(Vec<Vec<u8>>, Vec<Vec<u8>>)>;
+
 #[derive(Debug, Clone)]
 pub struct ReramMatrix {
     in_dim: usize,
@@ -40,6 +45,9 @@ pub struct ReramMatrix {
     /// One `(positive, negative)` crossbar pair per 4-bit segment group,
     /// least-significant group first.
     groups: Vec<(Crossbar, Crossbar)>,
+    /// Outputs disconnected by the degradation path (spares exhausted);
+    /// masked bit lines contribute 0 to every matvec and read.
+    masked_outputs: Vec<bool>,
 }
 
 impl ReramMatrix {
@@ -54,7 +62,11 @@ impl ReramMatrix {
     /// or `data_bits` is not a multiple of `cell_bits`.
     pub fn program(weights: &[f32], out_dim: usize, in_dim: usize, params: &ReramParams) -> Self {
         assert!(out_dim > 0 && in_dim > 0, "matrix must be non-empty");
-        assert_eq!(weights.len(), out_dim * in_dim, "weight buffer size mismatch");
+        assert_eq!(
+            weights.len(),
+            out_dim * in_dim,
+            "weight buffer size mismatch"
+        );
         assert_eq!(
             params.data_bits % params.cell_bits,
             0,
@@ -75,8 +87,36 @@ impl ReramMatrix {
                     )
                 })
                 .collect(),
+            masked_outputs: vec![false; out_dim],
         };
         m.write(weights);
+        m
+    }
+
+    /// Like [`program`](Self::program), but each member crossbar first draws
+    /// a persistent [`FaultMap`] from `faults` (deterministically in `seed`,
+    /// with per-crossbar sub-seeds so the eight arrays fail independently).
+    /// The initial write is *not* verified — pair with
+    /// [`write_verify`](Self::write_verify) to discover unrecoverable cells.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`program`](Self::program), plus invalid fault
+    /// rates.
+    pub fn program_with_faults(
+        weights: &[f32],
+        out_dim: usize,
+        in_dim: usize,
+        params: &ReramParams,
+        faults: &FaultModel,
+        seed: u64,
+    ) -> Self {
+        let mut m = Self::program(weights, out_dim, in_dim, params);
+        for (g, (pos, neg)) in m.groups.iter_mut().enumerate() {
+            let base = seed.wrapping_add(2 * g as u64);
+            pos.attach_faults(FaultMap::generate(in_dim, out_dim, faults, base));
+            neg.attach_faults(FaultMap::generate(in_dim, out_dim, faults, base + 1));
+        }
         m
     }
 
@@ -106,7 +146,44 @@ impl ReramMatrix {
     ///
     /// Panics if `weights.len()` mismatches the geometry.
     pub fn write(&mut self, weights: &[f32]) {
-        assert_eq!(weights.len(), self.out_dim * self.in_dim, "weight buffer size mismatch");
+        let levels = self.quantize_levels(weights);
+        for ((pos, neg), (pos_levels, neg_levels)) in self.groups.iter_mut().zip(&levels) {
+            pos.program(pos_levels);
+            neg.program(neg_levels);
+        }
+    }
+
+    /// (Re)programs the matrix through the bounded program-and-verify loop.
+    /// The merged report's [`UnrecoverableCell::col`](crate::fault::UnrecoverableCell)
+    /// values are *logical output indices* (bit lines map one-to-one onto
+    /// outputs), ready for the spare-remapping layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` mismatches the geometry.
+    pub fn write_verify(
+        &mut self,
+        weights: &[f32],
+        policy: &VerifyPolicy,
+        rng: &mut impl Rng,
+    ) -> ProgramReport {
+        let levels = self.quantize_levels(weights);
+        let mut report = ProgramReport::default();
+        for ((pos, neg), (pos_levels, neg_levels)) in self.groups.iter_mut().zip(&levels) {
+            report.merge(pos.program_verify(pos_levels, policy, rng));
+            report.merge(neg.program_verify(neg_levels, policy, rng));
+        }
+        report
+    }
+
+    /// Quantizes `weights` into per-group `(positive, negative)` level
+    /// matrices and updates the weight scale.
+    fn quantize_levels(&mut self, weights: &[f32]) -> GroupLevels {
+        assert_eq!(
+            weights.len(),
+            self.out_dim * self.in_dim,
+            "weight buffer size mismatch"
+        );
         let absmax = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
         self.weight_scale = if absmax == 0.0 {
             1.0
@@ -116,26 +193,94 @@ impl ReramMatrix {
         let mask = (1u32 << self.cell_bits) - 1;
         let (in_dim, out_dim, cell_bits) = (self.in_dim, self.out_dim, self.cell_bits);
         let (qmax, scale) = (self.qmax(), self.weight_scale);
-        for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
-            let shift = g as u32 * cell_bits as u32;
-            let mut pos_levels = vec![vec![0u8; out_dim]; in_dim];
-            let mut neg_levels = vec![vec![0u8; out_dim]; in_dim];
-            for o in 0..out_dim {
-                for i in 0..in_dim {
-                    let w = weights[o * in_dim + i];
-                    let q = (w / scale).round() as i64;
-                    let q = q.clamp(-qmax, qmax);
-                    let nibble = (((q.unsigned_abs()) >> shift) as u32 & mask) as u8;
-                    if q >= 0 {
-                        pos_levels[i][o] = nibble;
-                    } else {
-                        neg_levels[i][o] = nibble;
+        (0..self.groups.len())
+            .map(|g| {
+                let shift = g as u32 * cell_bits as u32;
+                let mut pos_levels = vec![vec![0u8; out_dim]; in_dim];
+                let mut neg_levels = vec![vec![0u8; out_dim]; in_dim];
+                for o in 0..out_dim {
+                    for i in 0..in_dim {
+                        let w = weights[o * in_dim + i];
+                        let q = (w / scale).round() as i64;
+                        let q = q.clamp(-qmax, qmax);
+                        let nibble = (((q.unsigned_abs()) >> shift) as u32 & mask) as u8;
+                        if q >= 0 {
+                            pos_levels[i][o] = nibble;
+                        } else {
+                            neg_levels[i][o] = nibble;
+                        }
                     }
                 }
+                (pos_levels, neg_levels)
+            })
+            .collect()
+    }
+
+    /// Remaps the given logical outputs onto fault-free spare bit lines:
+    /// every member crossbar's faults in those columns are cleared. The
+    /// stored levels already hold the intended values, so no rewrite is
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output index is out of range.
+    pub fn repair_outputs(&mut self, outputs: &[usize]) {
+        for &o in outputs {
+            assert!(o < self.out_dim, "output {o} out of range");
+            for (pos, neg) in self.groups.iter_mut() {
+                pos.clear_fault_col(o);
+                neg.clear_fault_col(o);
             }
-            pos.program(&pos_levels);
-            neg.program(&neg_levels);
+            self.masked_outputs[o] = false;
         }
+    }
+
+    /// Disconnects logical output `o` — the graceful-degradation path when
+    /// the spare budget is exhausted. Masked outputs contribute exactly 0 to
+    /// matvecs and reads (a zero unit, not a corrupted one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    pub fn mask_output(&mut self, o: usize) {
+        assert!(o < self.out_dim, "output {o} out of range");
+        self.masked_outputs[o] = true;
+    }
+
+    /// Logical outputs currently masked off.
+    pub fn masked_outputs(&self) -> Vec<usize> {
+        self.masked_outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(o, &m)| if m { Some(o) } else { None })
+            .collect()
+    }
+
+    /// Faulty cells within the given logical outputs' bit lines, across all
+    /// member crossbars (0 after those outputs were repaired).
+    pub fn fault_count_in_outputs(&self, outputs: &[usize]) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|(p, n)| [p, n])
+            .filter_map(|xbar| xbar.fault_map())
+            .map(|f| {
+                outputs
+                    .iter()
+                    .map(|&o| (0..f.rows()).filter(|&r| f.get(r, o).is_some()).count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Faulty cells across all member crossbars.
+    pub fn fault_count(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|(p, n)| {
+                p.fault_map().map_or(0, |f| f.fault_count())
+                    + n.fault_map().map_or(0, |f| f.fault_count())
+            })
+            .sum()
     }
 
     /// Reads the stored (quantized) weights back — the "old weights are read
@@ -145,9 +290,14 @@ impl ReramMatrix {
         for (g, (pos, neg)) in self.groups.iter().enumerate() {
             let shift = g as u32 * self.cell_bits as u32;
             for o in 0..self.out_dim {
+                if self.masked_outputs[o] {
+                    continue;
+                }
                 for i in 0..self.in_dim {
-                    let p = pos.level(i, o) as i64;
-                    let n = neg.level(i, o) as i64;
+                    // Reads go through the analog path, so stuck cells
+                    // corrupt what comes back.
+                    let p = pos.effective_level(i, o) as i64;
+                    let n = neg.effective_level(i, o) as i64;
                     out[o * self.in_dim + i] += ((p - n) << shift) as f32 * self.weight_scale;
                 }
             }
@@ -171,10 +321,7 @@ impl ReramMatrix {
         }
         let in_qmax = ((1u64 << self.data_bits) - 1) as f32 / 2.0;
         let x_scale = absmax / in_qmax;
-        let q: Vec<i64> = x
-            .iter()
-            .map(|&v| (v / x_scale).round() as i64)
-            .collect();
+        let q: Vec<i64> = x.iter().map(|&v| (v / x_scale).round() as i64).collect();
 
         let mut acc = vec![0i64; self.out_dim];
         for sign in [1i64, -1] {
@@ -196,7 +343,14 @@ impl ReramMatrix {
             }
         }
         acc.iter()
-            .map(|&a| a as f32 * self.weight_scale * x_scale)
+            .zip(&self.masked_outputs)
+            .map(|(&a, &masked)| {
+                if masked {
+                    0.0
+                } else {
+                    a as f32 * self.weight_scale * x_scale
+                }
+            })
             .collect()
     }
 
@@ -226,6 +380,7 @@ impl ReramMatrix {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use rand::SeedableRng as _;
 
     fn reference(w: &[f32], out: usize, inp: usize, x: &[f32]) -> Vec<f32> {
         (0..out)
@@ -238,7 +393,10 @@ mod tests {
         let w = vec![1.0, 0.0, 0.0, 1.0];
         let mut m = ReramMatrix::program(&w, 2, 2, &ReramParams::default());
         let y = m.matvec(&[0.3, -0.7]);
-        assert!((y[0] - 0.3).abs() < 1e-3 && (y[1] + 0.7).abs() < 1e-3, "{y:?}");
+        assert!(
+            (y[0] - 0.3).abs() < 1e-3 && (y[1] + 0.7).abs() < 1e-3,
+            "{y:?}"
+        );
     }
 
     #[test]
@@ -258,7 +416,10 @@ mod tests {
         m.write(&[0.5, -0.5, 0.25, -0.25]);
         assert!(m.write_spikes() > before, "update must issue write pulses");
         let y = m.matvec(&[1.0, 0.0]);
-        assert!((y[0] - 0.5).abs() < 1e-2 && (y[1] - 0.25).abs() < 1e-2, "{y:?}");
+        assert!(
+            (y[0] - 0.5).abs() < 1e-2 && (y[1] - 0.25).abs() < 1e-2,
+            "{y:?}"
+        );
     }
 
     #[test]
@@ -272,6 +433,68 @@ mod tests {
         let mut m = ReramMatrix::program(&[1.0, 2.0], 2, 1, &ReramParams::default());
         assert_eq!(m.matvec(&[0.0]), vec![0.0, 0.0]);
         assert_eq!(m.read_spikes(), 0);
+    }
+
+    #[test]
+    fn faulty_matrix_is_deterministic_and_repairable() {
+        let w = vec![0.5f32; 16 * 8];
+        let faults = FaultModel::with_stuck_rate(0.05);
+        let params = ReramParams::default();
+        let a = ReramMatrix::program_with_faults(&w, 8, 16, &params, &faults, 9);
+        let b = ReramMatrix::program_with_faults(&w, 8, 16, &params, &faults, 9);
+        assert!(a.fault_count() > 0, "5% of 2048 cells should fault");
+        assert_eq!(a.fault_count(), b.fault_count());
+        assert_eq!(a.read(), b.read(), "same seed, same corrupted reads");
+
+        let mut m = a;
+        let policy = VerifyPolicy::with_attempts(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let report = m.write_verify(&w, &policy, &mut rng);
+        assert!(!report.unrecoverable.is_empty());
+        let bad: Vec<usize> = report.unrecoverable.iter().map(|u| u.col).collect();
+        m.repair_outputs(&bad);
+        assert_eq!(m.fault_count_in_outputs(&bad), 0);
+
+        // After repair, a verified rewrite succeeds everywhere repaired.
+        let report = m.write_verify(&w, &policy, &mut rng);
+        assert!(report.unrecoverable.iter().all(|u| !bad.contains(&u.col)));
+    }
+
+    #[test]
+    fn masked_outputs_read_and_compute_zero() {
+        let w = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut m = ReramMatrix::program(&w, 2, 2, &ReramParams::default());
+        m.mask_output(1);
+        assert_eq!(m.masked_outputs(), vec![1]);
+        let y = m.matvec(&[1.0, 1.0]);
+        assert!((y[0] - 3.0).abs() < 1e-2, "{y:?}");
+        assert_eq!(y[1], 0.0);
+        let r = m.read();
+        assert_eq!(&r[2..], &[0.0, 0.0], "masked row reads as zeros");
+
+        m.repair_outputs(&[1]);
+        assert!(m.masked_outputs().is_empty(), "repair unmasks");
+        let y = m.matvec(&[1.0, 1.0]);
+        assert!((y[1] - 7.0).abs() < 1e-2, "{y:?}");
+    }
+
+    #[test]
+    fn stuck_cells_corrupt_reads_until_remapped() {
+        let w = vec![0.75f32; 4];
+        let faults = FaultModel {
+            stuck_at_zero: 0.3,
+            stuck_at_max: 0.0,
+            dead: 0.0,
+        };
+        let mut m = ReramMatrix::program_with_faults(&w, 2, 2, &ReramParams::default(), &faults, 3);
+        assert!(m.fault_count() > 0);
+        let corrupted = m.read();
+        assert_ne!(corrupted, vec![0.75; 4]);
+        m.repair_outputs(&[0, 1]);
+        let repaired = m.read();
+        for v in &repaired {
+            assert!((v - 0.75).abs() < 2.0 * m.weight_scale(), "{repaired:?}");
+        }
     }
 
     proptest! {

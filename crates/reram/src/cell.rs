@@ -1,5 +1,19 @@
 //! The multi-level ReRAM cell.
 
+use crate::fault::{noisy_landing, VerifyPolicy};
+use rand::Rng;
+
+/// Outcome of one cell-level program-and-verify loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellWrite {
+    /// Programming pulses issued across all attempts.
+    pub pulses: u32,
+    /// Attempts consumed (1 for a clean first-shot write).
+    pub attempts: u32,
+    /// Whether the final verify read matched the target level.
+    pub verified: bool,
+}
+
 /// One metal-oxide ReRAM cell storing `bits` bits as one of `2^bits`
 /// discrete conductance levels.
 ///
@@ -30,7 +44,10 @@ impl ReramCell {
     ///
     /// Panics unless `1 <= bits <= 8`.
     pub fn new(bits: u8) -> Self {
-        assert!((1..=8).contains(&bits), "cell resolution must be 1..=8 bits");
+        assert!(
+            (1..=8).contains(&bits),
+            "cell resolution must be 1..=8 bits"
+        );
         ReramCell { level: 0, bits }
     }
 
@@ -70,6 +87,47 @@ impl ReramCell {
     /// Normalised conductance in `[0, 1]`: `level / max_level`.
     pub fn conductance(&self) -> f32 {
         self.level as f32 / self.max_level() as f32
+    }
+
+    /// Programs the cell to `level` with the program-and-verify loop: each
+    /// attempt issues tuning pulses (landing within `policy.write_sigma`
+    /// levels of the target), then a verify read checks the result; misses
+    /// retry until `policy.max_attempts` is exhausted.
+    ///
+    /// This models a *healthy* cell — stuck-at behaviour lives in the
+    /// crossbar's [`FaultMap`](crate::fault::FaultMap), which intercepts
+    /// the write before it reaches the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the cell's resolution.
+    pub fn program_verify(
+        &mut self,
+        level: u8,
+        policy: &VerifyPolicy,
+        rng: &mut impl Rng,
+    ) -> CellWrite {
+        assert!(
+            level <= self.max_level(),
+            "level {level} exceeds {}-bit cell",
+            self.bits
+        );
+        let mut pulses = 0u32;
+        let mut attempts = 0u32;
+        while attempts < policy.max_attempts {
+            attempts += 1;
+            let landed = noisy_landing(level, self.max_level(), policy.write_sigma, rng);
+            pulses += (self.level as i32 - landed as i32).unsigned_abs();
+            self.level = landed;
+            if self.level == level {
+                break;
+            }
+        }
+        CellWrite {
+            pulses,
+            attempts,
+            verified: self.level == level,
+        }
     }
 }
 
@@ -112,5 +170,52 @@ mod tests {
     #[should_panic(expected = "resolution")]
     fn rejects_zero_bits() {
         ReramCell::new(0);
+    }
+
+    #[test]
+    fn verify_noiseless_first_shot() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut c = ReramCell::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = c.program_verify(9, &VerifyPolicy::default(), &mut rng);
+        assert!(w.verified);
+        assert_eq!(w.attempts, 1);
+        assert_eq!(w.pulses, 9);
+        assert_eq!(c.level(), 9);
+    }
+
+    #[test]
+    fn verify_retries_under_noise_and_converges() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let policy = VerifyPolicy {
+            max_attempts: 64,
+            write_sigma: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut converged = 0;
+        for target in 0..=15u8 {
+            let mut c = ReramCell::new(4);
+            let w = c.program_verify(target, &policy, &mut rng);
+            assert!(w.attempts >= 1 && w.attempts <= 64);
+            if w.verified {
+                assert_eq!(c.level(), target);
+                converged += 1;
+            }
+        }
+        // σ=1 with a 64-attempt budget converges essentially always.
+        assert!(converged >= 15, "only {converged}/16 targets converged");
+    }
+
+    #[test]
+    fn verify_budget_bounds_attempts() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let policy = VerifyPolicy {
+            max_attempts: 2,
+            write_sigma: 50.0, // wild noise: almost never lands on target
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = ReramCell::new(4);
+        let w = c.program_verify(7, &policy, &mut rng);
+        assert!(w.attempts <= 2);
     }
 }

@@ -2,8 +2,10 @@
 //! multiplication through the spike/integrate-and-fire path.
 
 use crate::cell::ReramCell;
+use crate::fault::{FaultMap, ProgramReport, UnrecoverableCell, VerifyPolicy};
 use crate::integrate_fire::IntegrateFire;
 use crate::spike::{SpikeDriver, SpikeTrain};
+use rand::Rng;
 
 /// A `rows × cols` crossbar of multi-level cells.
 ///
@@ -19,6 +21,8 @@ pub struct Crossbar {
     rows: usize,
     cols: usize,
     cells: Vec<ReramCell>, // row-major
+    /// Persistent stuck-at/dead cells; `None` for an ideal array.
+    faults: Option<FaultMap>,
     read_spikes: u64,
     write_spikes: u64,
     output_spikes: u64,
@@ -36,9 +40,39 @@ impl Crossbar {
             rows,
             cols,
             cells: vec![ReramCell::new(bits); rows * cols],
+            faults: None,
             read_spikes: 0,
             write_spikes: 0,
             output_spikes: 0,
+        }
+    }
+
+    /// Attaches a persistent fault map; faulty cells present their stuck
+    /// level on every read from then on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's geometry differs from the crossbar's.
+    pub fn attach_faults(&mut self, map: FaultMap) {
+        assert_eq!(
+            (map.rows(), map.cols()),
+            (self.rows, self.cols),
+            "fault map geometry mismatch"
+        );
+        self.faults = Some(map);
+    }
+
+    /// The attached fault map, if any.
+    pub fn fault_map(&self) -> Option<&FaultMap> {
+        self.faults.as_ref()
+    }
+
+    /// Clears every fault in bit line `col` — the crossbar-level view of a
+    /// spare-column remap (the logical column now lives on a fault-free
+    /// spare bit line).
+    pub fn clear_fault_col(&mut self, col: usize) {
+        if let Some(f) = self.faults.as_mut() {
+            f.clear_col(col);
         }
     }
 
@@ -57,9 +91,20 @@ impl Crossbar {
         self.cells[0].bits()
     }
 
-    /// Level of the cell at `(row, col)`.
+    /// Level the programming logic last stored at `(row, col)` (what the
+    /// write *wanted*; faults are not applied).
     pub fn level(&self, row: usize, col: usize) -> u8 {
         self.cells[row * self.cols + col].level()
+    }
+
+    /// Level the cell at `(row, col)` actually presents on a read: the
+    /// stored level, unless a fault pins it.
+    pub fn effective_level(&self, row: usize, col: usize) -> u8 {
+        let cell = &self.cells[row * self.cols + col];
+        match self.faults.as_ref().and_then(|f| f.get(row, col)) {
+            Some(kind) => kind.effective_level(cell.max_level()),
+            None => cell.level(),
+        }
     }
 
     /// Programs the whole array from a row-major level matrix; counts the
@@ -81,6 +126,77 @@ impl Crossbar {
         pulses
     }
 
+    /// Programs the whole array through the program-and-verify loop: every
+    /// cell is pulsed, read back and retried within `policy.max_attempts`;
+    /// cells a fault pins (or noise never lands) are reported
+    /// unrecoverable with the level they actually present.
+    ///
+    /// Pulses (including retries) are counted as write spikes and verify
+    /// reads as read spikes, so the energy accounting sees the real cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is not `rows × cols` or any level is over-range.
+    pub fn program_verify(
+        &mut self,
+        levels: &[Vec<u8>],
+        policy: &VerifyPolicy,
+        rng: &mut impl Rng,
+    ) -> ProgramReport {
+        assert_eq!(levels.len(), self.rows, "level matrix row count mismatch");
+        let mut report = ProgramReport::default();
+        for (r, row) in levels.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "level matrix column count mismatch");
+            for (c, &target) in row.iter().enumerate() {
+                let idx = r * self.cols + c;
+                let prev = self.cells[idx].level();
+                report.ideal_pulses += (prev as i32 - target as i32).unsigned_abs() as u64;
+                match self.faults.as_ref().and_then(|f| f.get(r, c)) {
+                    Some(kind) => {
+                        // The driver pulses and verifies up to the budget,
+                        // but the cell never moves.
+                        let actual = kind.effective_level(self.cells[idx].max_level());
+                        let wasted = if actual == target {
+                            // Fault happens to pin the cell at the target:
+                            // first verify passes, no pulses needed.
+                            report.verify_reads += 1;
+                            0
+                        } else {
+                            report.verify_reads += policy.max_attempts as u64;
+                            report.unrecoverable.push(UnrecoverableCell {
+                                row: r,
+                                col: c,
+                                target,
+                                actual,
+                            });
+                            policy.max_attempts as u64
+                        };
+                        report.pulses += wasted;
+                        // Track the intent so a later repair + rewrite
+                        // starts from the right place.
+                        self.cells[idx].program(target);
+                    }
+                    None => {
+                        let w = self.cells[idx].program_verify(target, policy, rng);
+                        report.pulses += w.pulses as u64;
+                        report.verify_reads += w.attempts as u64;
+                        if !w.verified {
+                            report.unrecoverable.push(UnrecoverableCell {
+                                row: r,
+                                col: c,
+                                target,
+                                actual: self.cells[idx].level(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.write_spikes += report.pulses;
+        self.read_spikes += report.verify_reads;
+        report
+    }
+
     /// In-situ MVM via the spike path: encodes `input` with an `input_bits`
     /// spike driver, streams the slots through the array, integrates the
     /// weighted bitline currents and fires. Returns the exact products
@@ -95,6 +211,14 @@ impl Crossbar {
         let trains: Vec<SpikeTrain> = driver.encode_vector(input);
         self.read_spikes += trains.iter().map(|t| t.spike_count() as u64).sum::<u64>();
 
+        // Reads see the *effective* levels — faults pin their cells on every
+        // access, so resolve the array once before streaming.
+        let eff: Option<Vec<u8>> = self.faults.as_ref().map(|_| {
+            (0..self.rows * self.cols)
+                .map(|i| self.effective_level(i / self.cols, i % self.cols))
+                .collect()
+        });
+
         let mut fires: Vec<IntegrateFire> = vec![IntegrateFire::new(); self.cols];
         // Stream time slots (LSB first); within a slot all word lines drive
         // their bitlines simultaneously — the analog accumulation.
@@ -106,7 +230,10 @@ impl Crossbar {
                 }
                 let base = r * self.cols;
                 for (c, inf) in fires.iter_mut().enumerate() {
-                    let g = self.cells[base + c].level() as u64;
+                    let g = match &eff {
+                        Some(levels) => levels[base + c],
+                        None => self.cells[base + c].level(),
+                    } as u64;
                     if g != 0 {
                         inf.integrate(g * w);
                     }
@@ -183,6 +310,79 @@ mod tests {
     #[should_panic(expected = "row count mismatch")]
     fn program_rejects_bad_shape() {
         Crossbar::new(2, 2, 4).program(&[vec![0, 0]]);
+    }
+
+    #[test]
+    fn stuck_cells_distort_reads_until_cleared() {
+        use crate::fault::FaultKind;
+        let mut xbar = Crossbar::new(2, 2, 4);
+        let levels = vec![vec![3, 5], vec![7, 9]];
+        xbar.program(&levels);
+        let mut map = FaultMap::pristine(2, 2);
+        map.set(0, 1, FaultKind::StuckAtZero);
+        map.set(1, 1, FaultKind::StuckAtMax);
+        xbar.attach_faults(map);
+
+        assert_eq!(xbar.effective_level(0, 0), 3);
+        assert_eq!(xbar.effective_level(0, 1), 0);
+        assert_eq!(xbar.effective_level(1, 1), 15);
+        // Column 0 is healthy; column 1 reads through the pinned levels.
+        let out = xbar.mvm_spiked(&[1, 1], 4);
+        assert_eq!(out, vec![3 + 7, 15]);
+
+        xbar.clear_fault_col(1);
+        let out = xbar.mvm_spiked(&[1, 1], 4);
+        assert_eq!(out, vec![3 + 7, 5 + 9], "repair restores stored levels");
+    }
+
+    #[test]
+    fn program_verify_reports_pinned_cells() {
+        use crate::fault::FaultKind;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut xbar = Crossbar::new(2, 2, 4);
+        let mut map = FaultMap::pristine(2, 2);
+        map.set(1, 0, FaultKind::StuckAtZero);
+        xbar.attach_faults(map);
+
+        let policy = VerifyPolicy::with_attempts(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = xbar.program_verify(&[vec![4, 4], vec![4, 4]], &policy, &mut rng);
+
+        assert_eq!(report.unrecoverable.len(), 1);
+        let bad = report.unrecoverable[0];
+        assert_eq!((bad.row, bad.col, bad.target, bad.actual), (1, 0, 4, 0));
+        // Healthy cells: 1 attempt × 4 pulses each; the stuck cell burns the
+        // whole 3-attempt budget.
+        assert_eq!(report.ideal_pulses, 16);
+        assert_eq!(report.pulses, 12 + 3);
+        assert_eq!(report.verify_reads, 3 + 3);
+        assert_eq!(xbar.write_spikes(), report.pulses);
+        assert_eq!(xbar.read_spikes(), report.verify_reads);
+    }
+
+    #[test]
+    fn program_verify_noiseless_matches_plain_program() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let levels = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let mut plain = Crossbar::new(2, 3, 4);
+        let plain_pulses = plain.program(&levels);
+
+        let mut verified = Crossbar::new(2, 3, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = verified.program_verify(&levels, &VerifyPolicy::default(), &mut rng);
+        assert!(report.unrecoverable.is_empty());
+        assert_eq!(report.pulses, plain_pulses);
+        assert_eq!(report.overhead(), 1.0);
+        assert_eq!(
+            verified.mvm_spiked(&[1, 1], 4),
+            plain.mvm_spiked(&[1, 1], 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn attach_faults_rejects_wrong_shape() {
+        Crossbar::new(2, 2, 4).attach_faults(FaultMap::pristine(3, 2));
     }
 
     proptest! {

@@ -22,6 +22,9 @@
 //!   pooling.
 //! * [`partition`] — tiling of large kernel matrices onto fixed-size arrays
 //!   (the balanced scheme of Fig. 5).
+//! * [`fault`] — persistent stuck-at/dead cell maps and the bounded
+//!   program-and-verify write discipline (retry pulses, unrecoverable-cell
+//!   reports) the repair layer consumes.
 //! * [`energy`] / [`area`] — NVSim-derived timing/energy constants
 //!   (29.31 ns / 50.88 ns and 1.08 pJ / 3.91 nJ per read/write spike) and the
 //!   area model.
@@ -44,6 +47,7 @@ pub mod array_group;
 pub mod cell;
 pub mod crossbar;
 pub mod energy;
+pub mod fault;
 pub mod integrate_fire;
 pub mod partition;
 pub mod spike;
@@ -52,9 +56,10 @@ pub mod variation;
 
 pub use area::AreaModel;
 pub use array_group::ReramMatrix;
-pub use cell::ReramCell;
+pub use cell::{CellWrite, ReramCell};
 pub use crossbar::Crossbar;
 pub use energy::{EnergyCounter, ReramParams};
+pub use fault::{FaultKind, FaultMap, FaultModel, ProgramReport, UnrecoverableCell, VerifyPolicy};
 pub use integrate_fire::IntegrateFire;
 pub use partition::tile_grid;
 pub use subarray::{MorphableSubarray, SubarrayMode};

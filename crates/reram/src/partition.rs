@@ -14,7 +14,10 @@ use crate::crossbar::Crossbar;
 ///
 /// Panics if any argument is zero.
 pub fn tile_grid(rows: usize, cols: usize, size: usize) -> (usize, usize) {
-    assert!(rows > 0 && cols > 0 && size > 0, "tile_grid arguments must be non-zero");
+    assert!(
+        rows > 0 && cols > 0 && size > 0,
+        "tile_grid arguments must be non-zero"
+    );
     (rows.div_ceil(size), cols.div_ceil(size))
 }
 
@@ -45,7 +48,10 @@ impl PartitionedMatrix {
         assert!(!levels.is_empty(), "empty level matrix");
         let rows = levels.len();
         let cols = levels[0].len();
-        assert!(levels.iter().all(|r| r.len() == cols), "ragged level matrix");
+        assert!(
+            levels.iter().all(|r| r.len() == cols),
+            "ragged level matrix"
+        );
         let (rt, ct) = tile_grid(rows, cols, size);
         let mut tiles = Vec::with_capacity(rt);
         for tr in 0..rt {
@@ -56,9 +62,7 @@ impl PartitionedMatrix {
                 let c0 = tc * size;
                 let c1 = (c0 + size).min(cols);
                 let mut xbar = Crossbar::new(r1 - r0, c1 - c0, bits);
-                let sub: Vec<Vec<u8>> = (r0..r1)
-                    .map(|r| levels[r][c0..c1].to_vec())
-                    .collect();
+                let sub: Vec<Vec<u8>> = (r0..r1).map(|r| levels[r][c0..c1].to_vec()).collect();
                 xbar.program(&sub);
                 row_tiles.push(xbar);
             }

@@ -186,7 +186,11 @@ impl MorphableSubarray {
     fn program_cell(&mut self, row: usize, col: usize, level: u8) {
         // One-cell patch: keep all other cells as they are.
         let mut levels: Vec<Vec<u8>> = (0..self.xbar.rows())
-            .map(|r| (0..self.xbar.cols()).map(|c| self.xbar.level(r, c)).collect())
+            .map(|r| {
+                (0..self.xbar.cols())
+                    .map(|c| self.xbar.level(r, c))
+                    .collect()
+            })
             .collect();
         levels[row][col] = level;
         self.xbar.program(&levels);
@@ -267,6 +271,8 @@ mod tests {
 
     #[test]
     fn errors_are_displayable() {
-        assert!(SubarrayError::NotInComputeMode.to_string().contains("memory mode"));
+        assert!(SubarrayError::NotInComputeMode
+            .to_string()
+            .contains("memory mode"));
     }
 }

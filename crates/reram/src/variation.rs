@@ -106,7 +106,13 @@ impl VariationModel {
     /// Perturbs a whole float buffer as if quantized to `data_bits` against
     /// its own max magnitude and stored on faulty cells, returning the
     /// dequantized (corrupted) values. Deterministic in `seed`.
-    pub fn perturb_weights(&self, weights: &[f32], data_bits: u8, cell_bits: u8, seed: u64) -> Vec<f32> {
+    pub fn perturb_weights(
+        &self,
+        weights: &[f32],
+        data_bits: u8,
+        cell_bits: u8,
+        seed: u64,
+    ) -> Vec<f32> {
         if self.is_ideal() {
             return weights.to_vec();
         }
@@ -182,9 +188,15 @@ mod tests {
     fn deterministic_in_seed() {
         let m = VariationModel::with_sigma(1.0);
         let w = vec![0.1f32, 0.9, -0.4];
-        assert_eq!(m.perturb_weights(&w, 16, 4, 5), m.perturb_weights(&w, 16, 4, 5));
+        assert_eq!(
+            m.perturb_weights(&w, 16, 4, 5),
+            m.perturb_weights(&w, 16, 4, 5)
+        );
         // Different seed, (very likely) different corruption.
-        assert_ne!(m.perturb_weights(&w, 16, 4, 5), m.perturb_weights(&w, 16, 4, 6));
+        assert_ne!(
+            m.perturb_weights(&w, 16, 4, 5),
+            m.perturb_weights(&w, 16, 4, 6)
+        );
     }
 
     proptest! {

@@ -69,8 +69,16 @@ pub fn matvec(w: &Tensor, x: &Tensor) -> Tensor {
 ///
 /// Panics if `w` is not rank-2, `y` is not rank-1, or sizes disagree.
 pub fn matvec_transposed(w: &Tensor, y: &Tensor) -> Tensor {
-    assert_eq!(w.shape().rank(), 2, "matvec_transposed matrix must be rank-2");
-    assert_eq!(y.shape().rank(), 1, "matvec_transposed vector must be rank-1");
+    assert_eq!(
+        w.shape().rank(),
+        2,
+        "matvec_transposed matrix must be rank-2"
+    );
+    assert_eq!(
+        y.shape().rank(),
+        1,
+        "matvec_transposed vector must be rank-1"
+    );
     let (m, n) = (w.dims()[0], w.dims()[1]);
     assert_eq!(m, y.dims()[0], "matvec_transposed size mismatch");
     let wv = w.as_slice();

@@ -65,7 +65,11 @@ pub fn col2im(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    assert_eq!(cols.shape().rank(), 2, "col2im expects a rank-2 patch matrix");
+    assert_eq!(
+        cols.shape().rank(),
+        2,
+        "col2im expects a rank-2 patch matrix"
+    );
     let ho = conv_output_len(h, kh, stride, pad);
     let wo = conv_output_len(w, kw, stride, pad);
     assert_eq!(cols.dims()[0], ho * wo, "col2im row count mismatch");
@@ -121,8 +125,8 @@ pub fn conv2d_im2col(
 
     let patches = im2col(input, kh, kw, stride, pad); // [P, C*Kh*Kw]
     let wmat = weight.reshape(&[c_out, c_in * kh * kw]); // [Cout, C*Kh*Kw]
-    // out[P, Cout] = patches · wmatᵀ ; compute as (wmat · patchesᵀ)ᵀ without
-    // materialising transposes: iterate P rows.
+                                                         // out[P, Cout] = patches · wmatᵀ ; compute as (wmat · patchesᵀ)ᵀ without
+                                                         // materialising transposes: iterate P rows.
     let wt = Tensor::from_fn(&[c_in * kh * kw, c_out], |i| wmat[[i[1], i[0]]]);
     let prod = matmul(&patches, &wt); // [P, Cout]
 
@@ -168,7 +172,9 @@ mod tests {
 
     #[test]
     fn conv_via_im2col_matches_direct() {
-        let x = Tensor::from_fn(&[3, 7, 7], |i| ((i[0] * 49 + i[1] * 7 + i[2]) as f32 * 0.11).sin());
+        let x = Tensor::from_fn(&[3, 7, 7], |i| {
+            ((i[0] * 49 + i[1] * 7 + i[2]) as f32 * 0.11).sin()
+        });
         let w = Tensor::from_fn(&[4, 3, 3, 3], |i| {
             ((i[0] * 27 + i[1] * 9 + i[2] * 3 + i[3]) as f32 * 0.07).cos()
         });

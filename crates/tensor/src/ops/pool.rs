@@ -131,7 +131,11 @@ pub fn avgpool2d_backward(
 ) -> Tensor {
     let (c, dh, dw) = dims3(delta);
     let (h, w) = input_hw;
-    assert_eq!(dh, pool_output_len(h, k, stride, 0), "delta height mismatch");
+    assert_eq!(
+        dh,
+        pool_output_len(h, k, stride, 0),
+        "delta height mismatch"
+    );
     assert_eq!(dw, pool_output_len(w, k, stride, 0), "delta width mismatch");
     let inv = 1.0 / (k * k) as f32;
     let mut dx = Tensor::zeros(&[c, h, w]);
@@ -151,7 +155,11 @@ pub fn avgpool2d_backward(
 }
 
 fn dims3(t: &Tensor) -> (usize, usize, usize) {
-    assert_eq!(t.shape().rank(), 3, "pooling expects rank-3 [C,H,W] tensors");
+    assert_eq!(
+        t.shape().rank(),
+        3,
+        "pooling expects rank-3 [C,H,W] tensors"
+    );
     (t.dims()[0], t.dims()[1], t.dims()[2])
 }
 
@@ -214,7 +222,9 @@ mod tests {
 
     #[test]
     fn avgpool_gradient_check() {
-        let mut x = Tensor::from_fn(&[2, 4, 4], |i| ((i[0] + i[1] + 2 * i[2]) as f32 * 0.37).sin());
+        let mut x = Tensor::from_fn(&[2, 4, 4], |i| {
+            ((i[0] + i[1] + 2 * i[2]) as f32 * 0.37).sin()
+        });
         let loss = |x: &Tensor| avgpool2d(x, 2, 2).norm_sq() * 0.5;
         let y = avgpool2d(&x, 2, 2);
         let dx = avgpool2d_backward(&y, (4, 4), 2, 2);

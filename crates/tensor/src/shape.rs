@@ -85,7 +85,10 @@ impl Shape {
         );
         let mut off = 0usize;
         for (d, (&i, &n)) in idx.iter().zip(&self.dims).enumerate() {
-            assert!(i < n, "index {i} out of bounds for dimension {d} (size {n})");
+            assert!(
+                i < n,
+                "index {i} out of bounds for dimension {d} (size {n})"
+            );
             off = off * n + i;
         }
         off

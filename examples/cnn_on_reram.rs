@@ -29,13 +29,21 @@ fn main() {
         "mini-MC",
         (1, 7, 7),
         vec![
-            LayerSpec::Conv { k: 3, c_out: 4, stride: 1, pad: 0 },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 4,
+                stride: 1,
+                pad: 0,
+            },
             LayerSpec::Fc { n_out: 10 },
         ],
     );
     let mut cnn = ReramCnn::from_spec(&spec, &ReramParams::default(), 99);
 
-    println!("training {} on ReRAM crossbars (every MVM spike-simulated)...", spec.name);
+    println!(
+        "training {} on ReRAM crossbars (every MVM spike-simulated)...",
+        spec.name
+    );
     let before = cnn.accuracy(&test, &data.test.labels);
     for epoch in 1..=3 {
         let mut loss = 0.0;
@@ -47,7 +55,11 @@ fn main() {
         println!("  epoch {epoch}: mean loss {:.4}", loss / batches as f32);
     }
     let after = cnn.accuracy(&test, &data.test.labels);
-    println!("test accuracy: {:.1}% -> {:.1}%", before * 100.0, after * 100.0);
+    println!(
+        "test accuracy: {:.1}% -> {:.1}%",
+        before * 100.0,
+        after * 100.0
+    );
     println!(
         "array activity: {} read spikes, {} programming pulses",
         cnn.read_spikes(),

@@ -24,9 +24,7 @@ fn main() {
 
     println!("workload: {} (L = {l}) | {n} training images", spec.name);
     println!();
-    println!(
-        "pipeline utilization while training (sustained / steady-state inference rate):"
-    );
+    println!("pipeline utilization while training (sustained / steady-state inference rate):");
     println!(
         "{:>8} {:>22} {:>22} {:>24}",
         "batch", "ISAAC-style (%)", "PipeLayer (%)", "ISAAC drain share (%)"
@@ -49,8 +47,13 @@ fn main() {
 
     println!();
     println!("shape (Sec. 3.2.2): the deep pipeline's fill/drain swallows most of each");
-    println!("small batch — at B = 64 it idles ~{:.0}% of the time — while PipeLayer's",
-        100.0 * isaac.training_drain_fraction(&spec, 64));
+    println!(
+        "small batch — at B = 64 it idles ~{:.0}% of the time — while PipeLayer's",
+        100.0 * isaac.training_drain_fraction(&spec, 64)
+    );
     println!("layer-granular pipeline keeps one image entering per cycle; its only");
-    println!("per-batch overhead is the fixed 2L+1 = {} cycle fill plus one update cycle.", 2 * l + 1);
+    println!(
+        "per-batch overhead is the fixed 2L+1 = {} cycle fill plus one update cycle.",
+        2 * l + 1
+    );
 }

@@ -57,5 +57,8 @@ fn main() {
         labels.len(),
         100.0 * correct as f64 / labels.len() as f64
     );
-    assert!(correct * 2 > labels.len(), "training on ReRAM should beat chance comfortably");
+    assert!(
+        correct * 2 > labels.len(),
+        "training on ReRAM should beat chance comfortably"
+    );
 }

@@ -25,8 +25,14 @@ fn main() {
     let spec = vgg(variant);
     let gpu_train = GpuModel::default().training(&spec, 640, 64).time_s;
 
-    println!("design space for {} (training, 640 images, B = 64):", spec.name);
-    println!("{:>8} {:>12} {:>12} {:>14} {:>16}", "lambda", "speedup", "area mm^2", "crossbars", "speedup/area");
+    println!(
+        "design space for {} (training, 640 images, B = 64):",
+        spec.name
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>16}",
+        "lambda", "speedup", "area mm^2", "crossbars", "speedup/area"
+    );
 
     let mut best = (0.0f64, f64::NEG_INFINITY);
     for lambda in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {

@@ -45,8 +45,14 @@ fn reram_training_tracks_float_training() {
 
     let float_acc = float_net.accuracy(&te, &tel);
     let reram_acc = reram.accuracy(&te, &tel);
-    assert!(float_acc > 0.55, "float reference failed to learn: {float_acc}");
-    assert!(reram_acc > 0.5, "ReRAM datapath failed to learn: {reram_acc}");
+    assert!(
+        float_acc > 0.55,
+        "float reference failed to learn: {float_acc}"
+    );
+    assert!(
+        reram_acc > 0.5,
+        "ReRAM datapath failed to learn: {reram_acc}"
+    );
     assert!(
         (float_acc - reram_acc).abs() < 0.25,
         "fixed-point training should track float: {float_acc} vs {reram_acc}"

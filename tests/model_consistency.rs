@@ -26,7 +26,9 @@ fn simulator_matches_formula_for_every_evaluation_network() {
 
 #[test]
 fn estimates_scale_linearly_in_workload() {
-    let accel = Accelerator::builder(zoo::vgg(zoo::VggVariant::C)).batch_size(64).build();
+    let accel = Accelerator::builder(zoo::vgg(zoo::VggVariant::C))
+        .batch_size(64)
+        .build();
     let t1 = accel.estimate_training(640);
     let t2 = accel.estimate_training(1280);
     assert!((t2.time_s / t1.time_s - 2.0).abs() < 0.01);
@@ -39,7 +41,10 @@ fn larger_lambda_never_slows_any_vgg() {
         let spec = zoo::vgg(variant);
         let mut last = f64::INFINITY;
         for lambda in [0.25, 0.5, 1.0, 2.0, 4.0] {
-            let accel = Accelerator::builder(spec.clone()).batch_size(64).lambda(lambda).build();
+            let accel = Accelerator::builder(spec.clone())
+                .batch_size(64)
+                .lambda(lambda)
+                .build();
             let t = accel.estimate_training(640).time_s;
             assert!(
                 t <= last * 1.0001,

@@ -27,8 +27,16 @@ fn every_network_speeds_up_over_gpu() {
         let accel = Accelerator::builder(spec.clone()).batch_size(64).build();
         let s_train = gpu.training(&spec, n, 64).time_s / accel.estimate_training(n).time_s;
         let s_test = gpu.testing(&spec, n, 64).time_s / accel.estimate_testing(n).time_s;
-        assert!(s_train > 1.0, "{} trains slower than GPU: {s_train}", spec.name);
-        assert!(s_test > 1.0, "{} tests slower than GPU: {s_test}", spec.name);
+        assert!(
+            s_train > 1.0,
+            "{} trains slower than GPU: {s_train}",
+            spec.name
+        );
+        assert!(
+            s_test > 1.0,
+            "{} tests slower than GPU: {s_test}",
+            spec.name
+        );
     }
 }
 
@@ -88,11 +96,20 @@ fn energy_savings_in_paper_band() {
         test.push(gpu.testing(&spec, n, 64).energy_j / accel.estimate_testing(n).energy_j);
     }
     let (g_train, g_test) = (geomean(&train), geomean(&test));
-    assert!((3.0..20.0).contains(&g_train), "train energy geomean {g_train}");
-    assert!((4.0..25.0).contains(&g_test), "test energy geomean {g_test}");
+    assert!(
+        (3.0..20.0).contains(&g_train),
+        "train energy geomean {g_train}"
+    );
+    assert!(
+        (4.0..25.0).contains(&g_test),
+        "test energy geomean {g_test}"
+    );
     assert!(g_train < g_test, "training saving should trail testing");
     // MLPs save far more than VGGs (Fig. 16's shape).
-    assert!(test[0] > 5.0 * test[9], "Mnist-A should dwarf VGG-E in saving");
+    assert!(
+        test[0] > 5.0 * test[9],
+        "Mnist-A should dwarf VGG-E in saving"
+    );
 }
 
 #[test]
@@ -122,9 +139,15 @@ fn efficiency_orderings_hold() {
 
     let compute_eff = gops / area;
     let power_eff = gops / power;
-    assert!(compute_eff > ISAAC.gops_per_mm2, "compute efficiency {compute_eff}");
+    assert!(
+        compute_eff > ISAAC.gops_per_mm2,
+        "compute efficiency {compute_eff}"
+    );
     assert!(compute_eff > DADIANNAO.gops_per_mm2);
-    assert!(power_eff < DADIANNAO.gops_per_w, "power efficiency {power_eff}");
+    assert!(
+        power_eff < DADIANNAO.gops_per_w,
+        "power efficiency {power_eff}"
+    );
     assert!(power_eff < ISAAC.gops_per_w);
 }
 
