@@ -26,6 +26,7 @@ fn main() {
         epochs,
         batch_size: 32,
         lr: 0.1,
+        threads: 0,
     };
 
     let mut headers = vec!["network".to_string(), "float".to_string()];

@@ -43,6 +43,7 @@ fn main() {
             epochs,
             batch_size: 32,
             lr: 0.08,
+            threads: 0,
         })
         .fit(&mut net, &data);
         let points = variation_sweep(&mut net, &data.test, &SIGMAS, 3, &params);
@@ -62,6 +63,7 @@ fn main() {
         epochs,
         batch_size: 32,
         lr: 0.08,
+        threads: 0,
     })
     .fit(&mut net, &data);
     let base = net.accuracy(&data.test.images, &data.test.labels);

@@ -48,6 +48,7 @@ fn main() {
             epochs,
             batch_size: 32,
             lr: if name.starts_with('M') { 0.1 } else { 0.05 },
+            threads: 0,
         })
         .fit(&mut net, &data);
         eprintln!(

@@ -97,19 +97,22 @@ impl ConvStage {
         };
         let (ho, wo) = (masked.dims()[1], masked.dims()[2]);
         let cols = self.k * self.k * self.c_in + 1;
-        // ∂W accumulation over the stored d patches.
-        for p in 0..ho * wo {
-            for co in 0..self.c_out {
-                let d = masked[[co, p / wo, p % wo]];
-                if d == 0.0 {
-                    continue;
-                }
-                let row = &mut self.grad_acc[co * cols..(co + 1) * cols];
-                for (c, r) in row.iter_mut().enumerate().take(cols - 1) {
-                    *r += d * self.cached_patches[[p, c]];
-                }
-                row[cols - 1] += d; // bias
+        // ∂W accumulation over the stored d patches, lowered to one GEMM:
+        // `dW[c_out × k²c_in] = δ[c_out × P] · patches[P × k²c_in]`
+        // (Fig. 12). No zero-skip on δ — `0·NaN` must stay NaN so a
+        // poisoned activation is not silently dropped from the gradient.
+        let p_count = ho * wo;
+        let dmat = masked.reshape(&[self.c_out, p_count]);
+        let dw = ops::matmul(&dmat, &self.cached_patches); // [c_out, cols-1]
+        for co in 0..self.c_out {
+            let row = &mut self.grad_acc[co * cols..(co + 1) * cols];
+            let dw_row = &dw.as_slice()[co * (cols - 1)..(co + 1) * (cols - 1)];
+            for (r, &g) in row.iter_mut().zip(dw_row) {
+                *r += g;
             }
+            // Bias column: the sum of this output map's masked δ.
+            let drow = &dmat.as_slice()[co * p_count..(co + 1) * p_count];
+            row[cols - 1] += drow.iter().sum::<f32>();
         }
         // Error backward: full convolution with the reordered kernels,
         // executed as the same window loop against the backward arrays.
@@ -126,6 +129,10 @@ impl ConvStage {
             let x: Vec<f32> = (0..self.k * self.k * self.c_out)
                 .map(|c| dpatches[[p, c]])
                 .collect();
+            // Hardware semantics, not a numeric shortcut: an all-zero
+            // patch drives no input spikes, so the array read phase never
+            // fires (and `read_spikes` stays untouched). This models the
+            // crossbar, unlike the software zero-skips removed elsewhere.
             if x.iter().all(|&v| v == 0.0) {
                 continue;
             }
@@ -215,15 +222,17 @@ impl FcStage {
     fn forward(&mut self, input: &Tensor) -> Vec<f32> {
         assert_eq!(input.numel(), self.n_in, "fc width mismatch");
         self.cached_in_dims = input.dims().to_vec();
-        self.cached_in = input.as_slice().to_vec();
-        let mut x = self.cached_in.clone();
-        x.push(1.0);
+        let mut x = input.as_slice().to_vec();
+        x.push(1.0); // bias input
         let mut y = self.forward.matvec(&x);
         if self.relu {
             for v in &mut y {
                 *v = v.max(0.0);
             }
         }
+        // Cache WITH the bias element: grad accumulation is then a single
+        // outer product over the whole [n_out × (n_in+1)] accumulator.
+        self.cached_in = x;
         self.cached_out = y.clone();
         y
     }
@@ -237,15 +246,9 @@ impl FcStage {
                 }
             }
         }
-        for (o, &dv) in d.iter().enumerate() {
-            if dv == 0.0 {
-                continue;
-            }
-            let row = &mut self.grad_acc[o * (self.n_in + 1)..(o + 1) * (self.n_in + 1)];
-            for (g, &x) in row.iter_mut().zip(self.cached_in.iter().chain(&[1.0])) {
-                *g += dv * x;
-            }
-        }
+        // Lowered to one rank-1 update; no zero-skip on δ (0·NaN = NaN
+        // must propagate into the accumulated gradient).
+        ops::outer_acc(&mut self.grad_acc, &d, &self.cached_in);
         let dx = self.backward.matvec(&d);
         Tensor::from_vec(&self.cached_in_dims, dx)
     }

@@ -18,7 +18,7 @@
 use crate::repair::{RepairController, SpareBudget};
 use pipelayer_nn::loss::Loss;
 use pipelayer_reram::{FaultModel, ProgramReport, ReramMatrix, ReramParams, VerifyPolicy};
-use pipelayer_tensor::Tensor;
+use pipelayer_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -290,7 +290,8 @@ impl ReramMlp {
         let mut v = x.to_vec();
         for layer in &mut self.layers {
             assert_eq!(v.len(), layer.n_in, "input width mismatch");
-            layer.cached_in = v.clone();
+            // Cache WITH the bias element appended: the grad accumulation is
+            // then one outer_acc over the whole [d, 1] vector.
             let mut with_bias = v;
             with_bias.push(1.0);
             let mut out = layer.forward.matvec(&with_bias);
@@ -299,6 +300,7 @@ impl ReramMlp {
                     *o = o.max(0.0); // activation component LUT
                 }
             }
+            layer.cached_in = with_bias;
             layer.cached_out = out.clone();
             v = out;
         }
@@ -351,16 +353,10 @@ impl ReramMlp {
                 }
             }
             // ∂W = δ · [d, 1]ᵀ accumulated into the buffer (Fig. 12's
-            // computation, exact here since it is an outer product).
-            for (o, &d_o) in delta.iter().enumerate() {
-                if d_o == 0.0 {
-                    continue;
-                }
-                let row = &mut layer.grad_acc[o * (layer.n_in + 1)..(o + 1) * (layer.n_in + 1)];
-                for (g, &x_i) in row.iter_mut().zip(layer.cached_in.iter().chain(&[1.0])) {
-                    *g += d_o * x_i;
-                }
-            }
+            // computation, exact here since it is an outer product). Lowered
+            // onto the shared rank-1 kernel; no zero-skip, so a NaN/Inf
+            // activation poisons the gradient instead of vanishing.
+            ops::outer_acc(&mut layer.grad_acc, &delta, &layer.cached_in);
             // δ_{l-1} = (W_l)ᵀ δ_l on the A_l2 arrays.
             if li > 0 {
                 delta = self.layers[li].backward.matvec(&delta);

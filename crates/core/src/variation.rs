@@ -96,6 +96,7 @@ mod tests {
             epochs: 3,
             batch_size: 16,
             lr: 0.1,
+            threads: 1,
         })
         .fit(&mut net, &data);
         (net, data)

@@ -43,7 +43,11 @@ pub struct GradsMut<'a> {
 /// Implementations cache whatever forward state the backward pass needs
 /// (inputs, pre-activations, pooling argmaxes), so `forward` must be called
 /// before the matching `backward`.
-pub trait Layer {
+///
+/// The `Send + Sync` bounds let the data-parallel trainer share a template
+/// network across worker threads and move per-thread replicas (created via
+/// [`clone_box`](Self::clone_box)) into them.
+pub trait Layer: Send + Sync {
     /// Human-readable layer kind, e.g. `"conv5x20"`.
     fn name(&self) -> String;
 
@@ -82,6 +86,13 @@ pub trait Layer {
     fn param_count(&self) -> usize {
         0
     }
+
+    /// Creates an independent replica of this layer for a worker thread:
+    /// learnable parameters are copied, gradient accumulators are zeroed and
+    /// forward caches are fresh. Replicas of the same layer produce bitwise
+    /// identical forward/backward results (stateful exceptions such as
+    /// dropout's RNG document their behaviour).
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 #[cfg(test)]

@@ -34,6 +34,10 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     cached_input: Option<Tensor>,
+    // im2col/GEMM buffers reused across every sample that flows through this
+    // layer instance — forward and both backward passes allocate nothing
+    // after the first sample.
+    scratch: ops::ConvScratch,
 }
 
 impl Conv2d {
@@ -63,6 +67,7 @@ impl Conv2d {
             stride,
             pad,
             cached_input: None,
+            scratch: ops::ConvScratch::new(),
         }
     }
 
@@ -97,8 +102,16 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = ops::conv2d_im2col_with(
+            input,
+            &self.weight,
+            &self.bias,
+            self.stride,
+            self.pad,
+            &mut self.scratch,
+        );
         self.cached_input = Some(input.clone());
-        self.infer(input)
+        out
     }
 
     fn infer(&self, input: &Tensor) -> Tensor {
@@ -111,15 +124,23 @@ impl Layer for Conv2d {
             .as_ref()
             .expect("Conv2d::backward called before forward");
         let k = self.kernel();
-        let (dw, db) = ops::conv2d_backward_weights(input, delta, (k, k), self.stride, self.pad);
+        let (dw, db) = ops::conv2d_backward_weights_with(
+            input,
+            delta,
+            (k, k),
+            self.stride,
+            self.pad,
+            &mut self.scratch,
+        );
         self.dweight += &dw;
         self.dbias += &db;
-        ops::conv2d_backward_input(
+        ops::conv2d_backward_input_with(
             delta,
             &self.weight,
             (input.dims()[1], input.dims()[2]),
             self.stride,
             self.pad,
+            &mut self.scratch,
         )
     }
 
@@ -154,6 +175,19 @@ impl Layer for Conv2d {
 
     fn param_count(&self) -> usize {
         self.weight.numel() + self.bias.numel()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Conv2d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            dweight: Tensor::zeros(self.dweight.dims()),
+            dbias: Tensor::zeros(self.dbias.dims()),
+            stride: self.stride,
+            pad: self.pad,
+            cached_input: None,
+            scratch: ops::ConvScratch::new(),
+        })
     }
 }
 

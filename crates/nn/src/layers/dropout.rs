@@ -82,6 +82,19 @@ impl Layer for Dropout {
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        // Each replica restarts from the current RNG state, so a network
+        // containing dropout is deterministic for a FIXED thread count but
+        // not ACROSS thread counts (replicas draw overlapping streams). The
+        // paper's evaluation networks reproduced here train without dropout;
+        // the bitwise thread-count-invariance guarantee applies to them.
+        Box::new(Dropout {
+            p: self.p,
+            rng: self.rng.clone(),
+            mask: None,
+        })
+    }
 }
 
 #[cfg(test)]

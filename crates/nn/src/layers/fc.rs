@@ -123,6 +123,16 @@ impl Layer for Linear {
     fn param_count(&self) -> usize {
         self.weight.numel() + self.bias.numel()
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Linear {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            dweight: Tensor::zeros(self.dweight.dims()),
+            dbias: Tensor::zeros(self.dbias.dims()),
+            cached_input: None,
+        })
+    }
 }
 
 #[cfg(test)]

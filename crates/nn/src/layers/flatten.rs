@@ -46,6 +46,10 @@ impl Layer for Flatten {
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Flatten::new())
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,10 @@ impl Layer for MaxPool2d {
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(MaxPool2d::new(self.k, self.stride))
+    }
 }
 
 /// Average pooling over `k×k` windows (Eq. 2). The paper notes the `1/K²`
@@ -111,6 +115,10 @@ impl Layer for AvgPool2d {
     fn zero_grad(&mut self) {}
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(AvgPool2d::new(self.k, self.stride))
     }
 }
 

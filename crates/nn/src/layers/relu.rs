@@ -54,6 +54,10 @@ impl Layer for Relu {
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Relu::new())
+    }
 }
 
 #[cfg(test)]

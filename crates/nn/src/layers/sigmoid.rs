@@ -49,6 +49,10 @@ impl Layer for Sigmoid {
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Sigmoid::new())
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 //!
 //! let data = SyntheticMnist::generate(600, 100, 42);
 //! let mut net = zoo::mnist_a(1);
-//! let report = Trainer::new(TrainConfig { epochs: 2, batch_size: 16, lr: 0.05 })
+//! let report = Trainer::new(TrainConfig { epochs: 2, batch_size: 16, lr: 0.05, threads: 1 })
 //!     .fit(&mut net, &data);
 //! assert!(report.final_test_accuracy > 0.5);
 //! ```

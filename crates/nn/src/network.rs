@@ -30,6 +30,10 @@ pub struct Network {
     loss: Loss,
 }
 
+/// One sample's gradient contribution: a `(dweight, dbias)` snapshot per
+/// parameterised layer, in layer order.
+type SampleGrads = Vec<(Tensor, Tensor)>;
+
 impl Network {
     /// Creates an empty network.
     pub fn new(name: impl Into<String>, loss: Loss) -> Self {
@@ -163,6 +167,166 @@ impl Network {
             total += loss;
             self.backward(&delta);
         }
+        let b = images.len();
+        let mut si = 0usize;
+        for layer in &mut self.layers {
+            if let Some(g) = layer.grads_mut() {
+                let (ws, bs) = states
+                    .slots
+                    .get_mut(si)
+                    .expect("OptStates built for a smaller network");
+                ws.apply(opt, g.weight, g.dweight, b, true);
+                bs.apply(opt, g.bias, g.dbias, b, false);
+                si += 1;
+            }
+            layer.zero_grad();
+        }
+        assert_eq!(si, states.slots.len(), "OptStates layer count mismatch");
+        total / b as f32
+    }
+
+    /// Creates an independent replica for a worker thread: identical
+    /// parameters, fresh gradient accumulators and forward caches.
+    pub fn replica(&self) -> Network {
+        Network {
+            name: self.name.clone(),
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+            loss: self.loss,
+        }
+    }
+
+    /// Forwards and backwards one sample, returning its loss and a snapshot
+    /// of the per-layer gradients (accumulators are zeroed afterwards, so
+    /// the snapshot is exactly this sample's contribution).
+    fn sample_grads(&mut self, img: &Tensor, label: usize) -> (f32, SampleGrads) {
+        let out = self.forward(img);
+        let (loss, delta) = self.loss.loss_and_delta(&out, label);
+        self.backward(&delta);
+        let mut grads = Vec::new();
+        for layer in &mut self.layers {
+            if let Some(g) = layer.grads_mut() {
+                grads.push((g.dweight.clone(), g.dbias.clone()));
+            }
+            layer.zero_grad();
+        }
+        (loss, grads)
+    }
+
+    /// Computes per-sample losses and gradient snapshots for a whole batch,
+    /// fanning the samples out over `threads` scoped worker threads.
+    ///
+    /// Results come back indexed by sample regardless of which worker
+    /// produced them, and each sample's gradient is computed by an identical
+    /// op sequence on an identical parameter copy — so the returned vector
+    /// is bitwise independent of `threads`. Workers write disjoint chunks of
+    /// the slot vector; no locks are needed.
+    fn collect_sample_grads(
+        &mut self,
+        images: &[Tensor],
+        labels: &[usize],
+        threads: usize,
+    ) -> Vec<(f32, SampleGrads)> {
+        let n = images.len();
+        if threads <= 1 || n <= 1 {
+            return images
+                .iter()
+                .zip(labels)
+                .map(|(img, &label)| self.sample_grads(img, label))
+                .collect();
+        }
+        let chunk = n.div_ceil(threads.min(n));
+        let mut slots: Vec<Option<(f32, SampleGrads)>> = (0..n).map(|_| None).collect();
+        let template = &*self;
+        std::thread::scope(|s| {
+            for ((imgs, labs), out) in images
+                .chunks(chunk)
+                .zip(labels.chunks(chunk))
+                .zip(slots.chunks_mut(chunk))
+            {
+                s.spawn(move || {
+                    let mut worker = template.replica();
+                    for ((img, &label), slot) in imgs.iter().zip(labs).zip(out) {
+                        *slot = Some(worker.sample_grads(img, label));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("worker left a sample slot unfilled"))
+            .collect()
+    }
+
+    /// Sums the per-sample snapshots into the master accumulators in sample
+    /// order (the fixed reduction order that makes training bitwise
+    /// deterministic at any thread count) and returns the summed loss.
+    fn reduce_sample_grads(&mut self, results: Vec<(f32, SampleGrads)>) -> f32 {
+        let mut total = 0.0;
+        for (loss, grads) in &results {
+            total += loss;
+            let mut gi = 0usize;
+            for layer in &mut self.layers {
+                if let Some(g) = layer.grads_mut() {
+                    let (dw, db) = &grads[gi];
+                    *g.dweight += dw;
+                    *g.dbias += db;
+                    gi += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Data-parallel [`train_batch`](Self::train_batch): per-sample gradients
+    /// are computed on `threads` worker replicas and reduced in sample order,
+    /// so the result is bitwise identical to the serial path for any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` have different lengths, are empty, or
+    /// `threads == 0`.
+    pub fn train_batch_parallel(
+        &mut self,
+        images: &[Tensor],
+        labels: &[usize],
+        lr: f32,
+        threads: usize,
+    ) -> f32 {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty batch");
+        assert!(threads > 0, "threads must be non-zero");
+        let results = self.collect_sample_grads(images, labels, threads);
+        let total = self.reduce_sample_grads(results);
+        let b = images.len();
+        for layer in &mut self.layers {
+            layer.apply_update(lr, b);
+        }
+        total / b as f32
+    }
+
+    /// Data-parallel [`train_batch_opt`](Self::train_batch_opt): same
+    /// fan-out/fixed-order reduction as
+    /// [`train_batch_parallel`](Self::train_batch_parallel), with the update
+    /// applied through an external optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths, an empty batch, `threads == 0`, or
+    /// states built for a different network.
+    pub fn train_batch_opt_parallel(
+        &mut self,
+        images: &[Tensor],
+        labels: &[usize],
+        opt: &crate::optimizer::Optimizer,
+        states: &mut OptStates,
+        threads: usize,
+    ) -> f32 {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty batch");
+        assert!(threads > 0, "threads must be non-zero");
+        let results = self.collect_sample_grads(images, labels, threads);
+        let total = self.reduce_sample_grads(results);
         let b = images.len();
         let mut si = 0usize;
         for layer in &mut self.layers {
@@ -340,5 +504,95 @@ mod tests {
     #[should_panic(expected = "empty batch")]
     fn rejects_empty_batch() {
         xor_net(7).train_batch(&[], &[], 0.1);
+    }
+
+    fn batch8() -> (Vec<Tensor>, Vec<usize>) {
+        let images: Vec<Tensor> = (0..8)
+            .map(|i| Tensor::from_vec(&[2], vec![(i as f32 * 0.37).sin(), (i as f32 * 0.61).cos()]))
+            .collect();
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        (images, labels)
+    }
+
+    fn weight_bits(net: &mut Network) -> Vec<u32> {
+        let mut bits = Vec::new();
+        for layer in net.layers_mut() {
+            if let Some(p) = layer.params_mut() {
+                bits.extend(p.weight.as_slice().iter().map(|v| v.to_bits()));
+                bits.extend(p.bias.as_slice().iter().map(|v| v.to_bits()));
+            }
+        }
+        bits
+    }
+
+    #[test]
+    fn replica_matches_original() {
+        let net = xor_net(10);
+        let rep = net.replica();
+        let x = Tensor::from_vec(&[2], vec![0.2, -0.8]);
+        let a = net.infer(&x);
+        let b = rep.infer(&x);
+        assert_eq!(
+            a.as_slice()[0].to_bits(),
+            b.as_slice()[0].to_bits(),
+            "replica must be bitwise identical"
+        );
+        assert_eq!(net.param_count(), rep.param_count());
+    }
+
+    #[test]
+    fn parallel_batch_is_bitwise_identical_to_serial() {
+        let (images, labels) = batch8();
+        let mut serial = xor_net(11);
+        serial.train_batch(&images, &labels, 0.1);
+        let serial_bits = weight_bits(&mut serial);
+        for threads in [1usize, 2, 3, 8, 16] {
+            let mut par = xor_net(11);
+            par.train_batch_parallel(&images, &labels, 0.1, threads);
+            assert_eq!(
+                weight_bits(&mut par),
+                serial_bits,
+                "{threads}-thread batch diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_opt_batch_is_bitwise_identical_to_serial() {
+        use crate::optimizer::Optimizer;
+        let (images, labels) = batch8();
+        let opt = Optimizer::with_momentum(0.1, 0.9);
+        let run = |threads: Option<usize>| -> Vec<u32> {
+            let mut net = xor_net(12);
+            let mut states = OptStates::for_network(&mut net);
+            for _ in 0..3 {
+                match threads {
+                    None => net.train_batch_opt(&images, &labels, &opt, &mut states),
+                    Some(t) => net.train_batch_opt_parallel(&images, &labels, &opt, &mut states, t),
+                };
+            }
+            weight_bits(&mut net)
+        };
+        let serial = run(None);
+        assert_eq!(serial, run(Some(1)), "1-thread diverged");
+        assert_eq!(serial, run(Some(4)), "4-thread diverged");
+    }
+
+    #[test]
+    fn parallel_loss_matches_serial_loss() {
+        let (images, labels) = batch8();
+        let mut a = xor_net(13);
+        let mut b = xor_net(13);
+        let la = a.train_batch(&images, &labels, 0.05);
+        let lb = b.train_batch_parallel(&images, &labels, 0.05, 4);
+        assert_eq!(la.to_bits(), lb.to_bits(), "losses must match bitwise");
+    }
+
+    #[test]
+    fn parallel_handles_more_threads_than_samples() {
+        let mut net = xor_net(14);
+        let x = Tensor::from_vec(&[2], vec![0.1, 0.9]);
+        let loss = net.train_batch_parallel(std::slice::from_ref(&x), &[1], 0.1, 8);
+        assert!(loss.is_finite());
     }
 }

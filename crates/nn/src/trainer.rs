@@ -19,6 +19,11 @@ pub struct TrainConfig {
     pub batch_size: usize,
     /// Learning rate.
     pub lr: f32,
+    /// Worker threads for data-parallel batch execution. `0` means auto:
+    /// the `PIPELAYER_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism. Any thread count produces bitwise
+    /// identical training results (the reduction order is fixed per sample).
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -27,7 +32,29 @@ impl Default for TrainConfig {
             epochs: 5,
             batch_size: 16,
             lr: 0.05,
+            threads: 0,
         }
+    }
+}
+
+impl TrainConfig {
+    /// The concrete worker-thread count `fit` will use: an explicit
+    /// `threads` value wins, then `PIPELAYER_THREADS`, then the machine's
+    /// available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("PIPELAYER_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -86,6 +113,7 @@ impl Trainer {
         assert!(!data.train.is_empty(), "empty training set");
 
         let n = data.train.len();
+        let threads = cfg.resolved_threads();
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(0xD1CE);
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
@@ -102,8 +130,10 @@ impl Trainer {
                     .collect();
                 let labels: Vec<_> = chunk.iter().map(|&i| data.train.labels[i]).collect();
                 epoch_loss += match (&self.optimizer, &mut states) {
-                    (Some(opt), Some(states)) => net.train_batch_opt(&images, &labels, opt, states),
-                    _ => net.train_batch(&images, &labels, cfg.lr),
+                    (Some(opt), Some(states)) => {
+                        net.train_batch_opt_parallel(&images, &labels, opt, states, threads)
+                    }
+                    _ => net.train_batch_parallel(&images, &labels, cfg.lr, threads),
                 };
                 batches += 1;
             }
@@ -131,6 +161,7 @@ mod tests {
             epochs: 4,
             batch_size: 16,
             lr: 0.1,
+            threads: 1,
         })
         .fit(&mut net, &data);
         assert!(
@@ -151,6 +182,7 @@ mod tests {
             epochs: 3,
             batch_size: 10,
             lr: 0.05,
+            threads: 1,
         })
         .fit(&mut net, &data);
         assert!(
@@ -168,6 +200,7 @@ mod tests {
             epochs: 3,
             batch_size: 16,
             lr: 0.0, // replaced by the optimizer's rate
+            threads: 1,
         })
         .with_optimizer(Optimizer::with_momentum(0.05, 0.9))
         // (synthetic task with 300 samples and 3 epochs)
@@ -183,6 +216,50 @@ mod tests {
         );
     }
 
+    /// Satellite acceptance test: training Mnist-A at 1, 2 and 8 threads
+    /// must yield bitwise-identical loss curves AND final weights.
+    #[test]
+    fn training_is_bitwise_deterministic_across_thread_counts() {
+        let data = SyntheticMnist::generate(120, 30, 42);
+        let run = |threads: usize| -> (Vec<u32>, Vec<u32>) {
+            let mut net = zoo::mnist_a(42);
+            let report = Trainer::new(TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 0.1,
+                threads,
+            })
+            .fit(&mut net, &data);
+            let losses: Vec<u32> = report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+            let mut weights = Vec::new();
+            for layer in net.layers_mut() {
+                if let Some(p) = layer.params_mut() {
+                    weights.extend(p.weight.as_slice().iter().map(|v| v.to_bits()));
+                    weights.extend(p.bias.as_slice().iter().map(|v| v.to_bits()));
+                }
+            }
+            (losses, weights)
+        };
+        let serial = run(1);
+        let two = run(2);
+        let eight = run(8);
+        assert_eq!(serial.0, two.0, "2-thread loss curve diverged");
+        assert_eq!(serial.0, eight.0, "8-thread loss curve diverged");
+        assert_eq!(serial.1, two.1, "2-thread final weights diverged");
+        assert_eq!(serial.1, eight.1, "8-thread final weights diverged");
+    }
+
+    #[test]
+    fn resolved_threads_prefers_explicit_value() {
+        let cfg = TrainConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(cfg.resolved_threads(), 3);
+        let auto = TrainConfig::default();
+        assert!(auto.resolved_threads() >= 1);
+    }
+
     #[test]
     #[should_panic(expected = "degenerate")]
     fn rejects_zero_epochs() {
@@ -192,6 +269,7 @@ mod tests {
             epochs: 0,
             batch_size: 4,
             lr: 0.1,
+            threads: 1,
         })
         .fit(&mut net, &data);
     }

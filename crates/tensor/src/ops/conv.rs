@@ -83,15 +83,35 @@ pub fn rot180(weight: &Tensor) -> Tensor {
 /// output, returns the error w.r.t. the layer's input,
 /// `conv2(delta, rot180(K), 'full')` (Sec. 4.3, Fig. 11).
 ///
-/// Only `stride == 1` convolutions are generated by the paper's networks'
-/// backward path through this routine; strided convolutions (AlexNet conv1)
-/// are handled by error upsampling before calling this.
+/// Lowered onto `δᵀ·W` + col2im (see [`conv2d_backward_input_with`]); any
+/// stride/padding combination is handled natively, including the
+/// non-divisible strided geometry of AlexNet conv1. For buffer reuse across
+/// batch samples call the `_with` variant directly.
 ///
 /// # Panics
 ///
 /// Panics on rank/size mismatches, or if `delta`'s spatial size is
 /// inconsistent with `input_hw`, `stride` and `pad`.
 pub fn conv2d_backward_input(
+    delta: &Tensor,
+    weight: &Tensor,
+    input_hw: (usize, usize),
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let mut scratch = super::lowered::ConvScratch::new();
+    super::lowered::conv2d_backward_input_with(delta, weight, input_hw, stride, pad, &mut scratch)
+}
+
+/// Scalar (non-lowered) reference implementation of
+/// [`conv2d_backward_input`]: the scatter formulation, one multiply-add per
+/// (output point × kernel tap). Kept as the ground truth the GEMM path is
+/// tested against.
+///
+/// # Panics
+///
+/// Same conditions as [`conv2d_backward_input`].
+pub fn conv2d_backward_input_scalar(
     delta: &Tensor,
     weight: &Tensor,
     input_hw: (usize, usize),
@@ -120,10 +140,9 @@ pub fn conv2d_backward_input(
     for co in 0..c_out {
         for oy in 0..dh {
             for ox in 0..dw {
+                // No zero-skip on `d`: `0 · NaN` must stay NaN so a diverged
+                // weight poisons the gradient instead of vanishing.
                 let d = delta[[co, oy, ox]];
-                if d == 0.0 {
-                    continue;
-                }
                 for ci in 0..c_in {
                     for ky in 0..kh {
                         let iy = (oy * stride + ky) as isize - pad as isize;
@@ -150,10 +169,31 @@ pub fn conv2d_backward_input(
 /// with the forward data, where the stored data act as kernels (Fig. 12).
 /// Also returns the bias gradient `∂J/∂b[co] = Σ δ[co,·,·]`.
 ///
+/// Lowered onto `δ · patches` (see [`conv2d_backward_weights_with`]); for
+/// buffer reuse across batch samples call the `_with` variant directly.
+///
 /// # Panics
 ///
 /// Panics on rank/size mismatches.
 pub fn conv2d_backward_weights(
+    input: &Tensor,
+    delta: &Tensor,
+    kernel_hw: (usize, usize),
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor) {
+    let mut scratch = super::lowered::ConvScratch::new();
+    super::lowered::conv2d_backward_weights_with(input, delta, kernel_hw, stride, pad, &mut scratch)
+}
+
+/// Scalar (non-lowered) reference implementation of
+/// [`conv2d_backward_weights`], kept as the ground truth the GEMM path is
+/// tested against.
+///
+/// # Panics
+///
+/// Same conditions as [`conv2d_backward_weights`].
+pub fn conv2d_backward_weights_scalar(
     input: &Tensor,
     delta: &Tensor,
     kernel_hw: (usize, usize),
@@ -180,11 +220,9 @@ pub fn conv2d_backward_weights(
         let mut bsum = 0.0;
         for oy in 0..dh {
             for ox in 0..dw {
+                // No zero-skip on `d`: NaN/Inf activations must reach dW.
                 let d = delta[[co, oy, ox]];
                 bsum += d;
-                if d == 0.0 {
-                    continue;
-                }
                 for ci in 0..c_in {
                     for ky in 0..kh {
                         let iy = (oy * stride + ky) as isize - pad as isize;
@@ -290,6 +328,125 @@ mod tests {
                 (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
                 "at {probe:?}: numeric {num} vs analytic {ana}"
             );
+        }
+    }
+
+    /// Finite-difference check of dJ/dx at stride 2 with non-divisible
+    /// geometry — `(h + 2·pad − k) % stride = (8 + 2·pad − 3) % 2 = 1` for
+    /// both pads, the AlexNet-conv1 upsampling edge case.
+    #[test]
+    fn backward_input_fd_strided_nondivisible() {
+        for pad in [0usize, 1] {
+            let mut x = Tensor::from_fn(&[2, 8, 8], |i| {
+                ((i[0] * 64 + i[1] * 8 + i[2]) as f32 * 0.19).sin()
+            });
+            let w = Tensor::from_fn(&[3, 2, 3, 3], |i| {
+                ((i[0] * 5 + i[1] * 3 + i[2] * 2 + i[3]) as f32 * 0.27).cos() * 0.3
+            });
+            let b = Tensor::zeros(&[3]);
+            let loss = |x: &Tensor| -> f32 { conv2d(x, &w, &b, 2, pad).norm_sq() * 0.5 };
+
+            let delta = conv2d(&x, &w, &b, 2, pad);
+            let dx = conv2d_backward_input(&delta, &w, (8, 8), 2, pad);
+            let dx_scalar = conv2d_backward_input_scalar(&delta, &w, (8, 8), 2, pad);
+            assert!(
+                dx.allclose(&dx_scalar, 1e-4),
+                "GEMM and scalar paths disagree at pad={pad}"
+            );
+
+            let eps = 1e-3;
+            for probe in [[0usize, 0, 0], [1, 3, 5], [0, 7, 7], [1, 4, 0]] {
+                let orig = x[probe];
+                x[probe] = orig + eps;
+                let lp = loss(&x);
+                x[probe] = orig - eps;
+                let lm = loss(&x);
+                x[probe] = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = dx[probe];
+                assert!(
+                    (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                    "pad={pad} at {probe:?}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    /// Finite-difference check of dJ/dK at stride 2 with non-divisible
+    /// geometry, GEMM and scalar paths agreeing to 1e-4.
+    #[test]
+    fn backward_weights_fd_strided_nondivisible() {
+        for pad in [0usize, 1] {
+            let x = Tensor::from_fn(&[2, 8, 8], |i| {
+                ((i[0] + i[1] * 2 + i[2]) as f32 * 0.21).sin()
+            });
+            let mut w = Tensor::from_fn(&[2, 2, 3, 3], |i| {
+                ((i[0] * 7 + i[1] * 2 + i[2] * 3 + i[3]) as f32 * 0.15).cos() * 0.2
+            });
+            let b = Tensor::zeros(&[2]);
+            let loss = |w: &Tensor| -> f32 { conv2d(&x, w, &b, 2, pad).norm_sq() * 0.5 };
+
+            let delta = conv2d(&x, &w, &b, 2, pad);
+            let (dw, _) = conv2d_backward_weights(&x, &delta, (3, 3), 2, pad);
+            let (dw_scalar, db_scalar) = conv2d_backward_weights_scalar(&x, &delta, (3, 3), 2, pad);
+            assert!(
+                dw.allclose(&dw_scalar, 1e-4),
+                "GEMM and scalar paths disagree at pad={pad}"
+            );
+            assert_eq!(db_scalar.dims(), &[2]);
+
+            let eps = 1e-3;
+            for probe in [[0usize, 0, 0, 0], [1, 1, 2, 2], [0, 1, 1, 0], [1, 0, 2, 1]] {
+                let orig = w[probe];
+                w[probe] = orig + eps;
+                let lp = loss(&w);
+                w[probe] = orig - eps;
+                let lm = loss(&w);
+                w[probe] = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = dw[probe];
+                assert!(
+                    (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                    "pad={pad} at {probe:?}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_propagates_nan() {
+        // A NaN input pixel must poison every output it participates in,
+        // even under zero weights.
+        let x = Tensor::from_vec(&[1, 2, 2], vec![f32::NAN, 1.0, 1.0, 1.0]);
+        let w = Tensor::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, 1, 0);
+        assert!(y.as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn backward_input_propagates_nan_through_zero_delta() {
+        // Regression: the old scatter loop skipped zero delta entries, so a
+        // NaN weight never reached dx.
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![f32::NAN]);
+        let delta = Tensor::zeros(&[1, 2, 2]);
+        for dx in [
+            conv2d_backward_input(&delta, &w, (2, 2), 1, 0),
+            conv2d_backward_input_scalar(&delta, &w, (2, 2), 1, 0),
+        ] {
+            assert!(dx.as_slice().iter().all(|v| v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn backward_weights_propagates_nan_through_zero_delta() {
+        let x = Tensor::from_vec(&[1, 1, 1], vec![f32::NAN]);
+        let delta = Tensor::zeros(&[1, 1, 1]);
+        for (dw, _) in [
+            conv2d_backward_weights(&x, &delta, (1, 1), 1, 0),
+            conv2d_backward_weights_scalar(&x, &delta, (1, 1), 1, 0),
+        ] {
+            assert!(dw.as_slice()[0].is_nan());
         }
     }
 

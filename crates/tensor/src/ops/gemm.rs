@@ -1,39 +1,159 @@
-//! Dense matrix products.
+//! Dense matrix products — the execution engine's workhorse kernels.
+//!
+//! Every convolution in the functional path (forward and both backward
+//! passes) lowers onto these via im2col/col2im, exactly as PipeLayer maps
+//! kernel windows onto crossbar columns (Fig. 4). The kernels are
+//! cache-blocked but deliberately single-threaded: parallelism lives at the
+//! batch level in `pipelayer-nn`'s trainer, which keeps every kernel's
+//! per-element summation order fixed and makes training bitwise reproducible
+//! at any thread count.
+//!
+//! None of the kernels short-circuits on zero operands. `0 · NaN` must stay
+//! `NaN` so a diverged activation poisons the loss instead of vanishing into
+//! a clean-looking zero — the zero-skip "fast paths" this module once had
+//! silently dropped NaN/Inf propagation, a class of bug that corrupts
+//! gradients without failing a single shape check.
 
 use crate::Tensor;
 
-/// Matrix–matrix product `A (m×k) · B (k×n) → (m×n)`.
+/// K-panel depth for the blocked kernels: a `BLOCK_K × n` panel of `B` stays
+/// hot in cache across the row sweep. Blocking only over `k` keeps the
+/// per-element accumulation order identical to the naive `ikj` loop
+/// (`p = 0..k`, ascending), so results are independent of the block size.
+const BLOCK_K: usize = 256;
+
+/// `out ← A · B` over raw row-major slices, `A (m×k) · B (k×n) → (m×n)`.
 ///
-/// Uses an ikj loop order so the inner loop streams both `B` and the output
-/// row — good enough for the MNIST-scale functional simulations this
-/// reproduction executes (large nets are only *timed*, never executed).
+/// `out` is fully overwritten. Accumulation order per output element is
+/// `p = 0..k` ascending, regardless of blocking.
+pub(crate) fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + BLOCK_K).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &aip) in arow.iter().enumerate().take(kend).skip(kb) {
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bpj) in orow.iter_mut().zip(brow) {
+                    *o += aip * bpj;
+                }
+            }
+        }
+        kb = kend;
+    }
+}
+
+/// Dot product with eight independent accumulator lanes (fixed reduction
+/// tree, so the result is deterministic while the lanes vectorize).
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = x.len() / 8;
+    for c in 0..chunks {
+        let xs = &x[c * 8..c * 8 + 8];
+        let ys = &y[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 8..x.len() {
+        tail += x[i] * y[i];
+    }
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7])) + tail
+}
+
+/// `out ← A · Bᵀ` over raw slices, `A (m×k) · Bᵀ (k×n) → (m×n)` where `B`
+/// is stored row-major as `(n×k)`. Both operands stream row-contiguously —
+/// this is the layout-friendly product for `patches · Wᵀ` in the im2col
+/// forward pass (no materialised transpose).
+pub(crate) fn gemm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// `out ← Aᵀ · B` over raw slices, `Aᵀ (m×k) · B (k×n) → (m×n)` where `A`
+/// is stored row-major as `(k×m)`. Streams rows of both operands — this is
+/// the layout-friendly product for `δᵀ · W` in the lowered backward-input
+/// pass.
+pub(crate) fn gemm_tn(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &api) in arow.iter().enumerate() {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow) {
+                *o += api * bpj;
+            }
+        }
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank-2");
+    (t.dims()[0], t.dims()[1])
+}
+
+/// Matrix–matrix product `A (m×k) · B (k×n) → (m×n)`, cache-blocked.
 ///
 /// # Panics
 ///
 /// Panics if the operands are not rank-2 or the inner dimensions disagree.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
-    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &aip) in arow.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            for (o, &bpj) in orow.iter_mut().zip(brow) {
-                *o += aip * bpj;
-            }
-        }
-    }
+    gemm_nn(a.as_slice(), b.as_slice(), m, k, n, &mut out);
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// `A · Bᵀ` without materialising the transpose: `A (m×k)`, `B (n×k)`,
+/// result `(m×n)`.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or the shared `k` dimensions
+/// disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt shared dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    gemm_nt(a.as_slice(), b.as_slice(), m, k, n, &mut out);
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// `Aᵀ · B` without materialising the transpose: `A (k×m)`, `B (k×n)`,
+/// result `(m×n)`.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or the shared `k` dimensions
+/// disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn shared dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    gemm_tn(a.as_slice(), b.as_slice(), k, m, n, &mut out);
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -65,6 +185,9 @@ pub fn matvec(w: &Tensor, x: &Tensor) -> Tensor {
 /// materialising the transpose. This is the backward-error product
 /// `δ_l = Wᵀ δ_{l+1}` of Sec. 2.2.
 ///
+/// No zero-skip: a `NaN`/`Inf` weight multiplied by a zero error must still
+/// poison the result.
+///
 /// # Panics
 ///
 /// Panics if `w` is not rank-2, `y` is not rank-1, or sizes disagree.
@@ -86,9 +209,6 @@ pub fn matvec_transposed(w: &Tensor, y: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; n];
     for i in 0..m {
         let yi = yv[i];
-        if yi == 0.0 {
-            continue;
-        }
         for (o, &wij) in out.iter_mut().zip(&wv[i * n..(i + 1) * n]) {
             *o += wij * yi;
         }
@@ -115,6 +235,30 @@ pub fn outer(y: &Tensor, x: &Tensor) -> Tensor {
     Tensor::from_vec(&[m, n], out)
 }
 
+/// Accumulating rank-1 update over raw slices:
+/// `out[i·n + j] += y[i] · x[j]` with `n = x.len()`.
+///
+/// This is the lowered partial-derivative accumulation `ΔW += δ dᵀ` used by
+/// the functional ReRAM layers (Fig. 12's outer product, bias folded into
+/// `x`'s last element by the caller). No zero-skip, so `NaN`s in either
+/// operand reach the accumulator.
+///
+/// # Panics
+///
+/// Panics if `out.len() != y.len() * x.len()`.
+pub fn outer_acc(out: &mut [f32], y: &[f32], x: &[f32]) {
+    assert_eq!(
+        out.len(),
+        y.len() * x.len(),
+        "outer_acc buffer size mismatch"
+    );
+    for (orow, &yi) in out.chunks_exact_mut(x.len()).zip(y) {
+        for (o, &xj) in orow.iter_mut().zip(x) {
+            *o += yi * xj;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +277,55 @@ mod tests {
         let a = Tensor::from_fn(&[3, 3], |i| (i[0] * 3 + i[1]) as f32);
         assert!(matmul(&i3, &a).allclose(&a, 1e-6));
         assert!(matmul(&a, &i3).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_on_large_k() {
+        // k > BLOCK_K exercises the panel loop.
+        let (m, k, n) = (3usize, 2 * super::BLOCK_K + 17, 4usize);
+        let a = Tensor::from_fn(&[m, k], |i| ((i[0] * k + i[1]) as f32 * 0.01).sin());
+        let b = Tensor::from_fn(&[k, n], |i| ((i[0] * n + i[1]) as f32 * 0.02).cos());
+        let got = matmul(&a, &b);
+        let want = Tensor::from_fn(&[m, n], |i| {
+            (0..k).map(|p| a[[i[0], p]] * b[[p, i[1]]]).sum::<f32>()
+        });
+        assert!(got.allclose(&want, 1e-2 * k as f32 * 1e-4 + 1e-3));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_fn(&[3, 17], |i| ((i[0] + 2 * i[1]) as f32 * 0.1).sin());
+        let b = Tensor::from_fn(&[5, 17], |i| ((i[0] * 3 + i[1]) as f32 * 0.07).cos());
+        let bt = Tensor::from_fn(&[17, 5], |i| b[[i[1], i[0]]]);
+        assert!(matmul_nt(&a, &b).allclose(&matmul(&a, &bt), 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_fn(&[7, 4], |i| ((i[0] + 3 * i[1]) as f32 * 0.13).sin());
+        let b = Tensor::from_fn(&[7, 6], |i| ((i[0] * 2 + i[1]) as f32 * 0.11).cos());
+        let at = Tensor::from_fn(&[4, 7], |i| a[[i[1], i[0]]]);
+        assert!(matmul_tn(&a, &b).allclose(&matmul(&at, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        // Regression: the old kernel skipped rows where a[i][p] == 0.0, so a
+        // NaN in B vanished into a clean-looking 0.0 output.
+        let a = Tensor::zeros(&[1, 1]);
+        let b = Tensor::from_vec(&[1, 1], vec![f32::NAN]);
+        assert!(matmul(&a, &b).as_slice()[0].is_nan(), "0 · NaN must be NaN");
+        // And through the nt/tn variants.
+        assert!(matmul_nt(&a, &b).as_slice()[0].is_nan());
+        assert!(matmul_tn(&a, &b).as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn matmul_propagates_inf_times_zero() {
+        let a = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]);
+        let b = Tensor::from_vec(&[2, 1], vec![f32::INFINITY, 2.0]);
+        // 0 · ∞ = NaN, NaN + 2 = NaN.
+        assert!(matmul(&a, &b).as_slice()[0].is_nan());
     }
 
     #[test]
@@ -155,12 +348,35 @@ mod tests {
     }
 
     #[test]
+    fn matvec_transposed_propagates_nan_through_zero_error() {
+        // Regression: a zero error row used to skip the NaN weight.
+        let w = Tensor::from_vec(&[1, 1], vec![f32::NAN]);
+        let y = Tensor::zeros(&[1]);
+        assert!(matvec_transposed(&w, &y).as_slice()[0].is_nan());
+    }
+
+    #[test]
     fn outer_known() {
         let y = Tensor::from_vec(&[2], vec![2.0, 3.0]);
         let x = Tensor::from_vec(&[3], vec![1.0, 0.0, -1.0]);
         let o = outer(&y, &x);
         assert_eq!(o.dims(), &[2, 3]);
         assert_eq!(o.as_slice(), &[2.0, 0.0, -2.0, 3.0, 0.0, -3.0]);
+    }
+
+    #[test]
+    fn outer_acc_accumulates() {
+        let mut out = vec![1.0f32; 6];
+        outer_acc(&mut out, &[2.0, -1.0], &[1.0, 0.0, 3.0]);
+        assert_eq!(out, vec![3.0, 1.0, 7.0, 0.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn outer_acc_propagates_nan() {
+        let mut out = vec![0.0f32; 2];
+        outer_acc(&mut out, &[0.0], &[f32::NAN, 1.0]);
+        assert!(out[0].is_nan(), "0 · NaN must reach the accumulator");
+        assert_eq!(out[1], 0.0);
     }
 
     #[test]

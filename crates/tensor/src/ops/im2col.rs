@@ -8,42 +8,24 @@
 //! the software reference and the accelerator's functional model.
 
 use super::conv::conv_output_len;
-use super::gemm::matmul;
+use super::lowered::{col2im_from, conv2d_im2col_with, im2col_into, ConvScratch};
 use crate::Tensor;
 
 /// Lowers `input [C,H,W]` into a patch matrix of shape
 /// `[H_out·W_out, C·Kh·Kw]`: row `p` is the flattened receptive field of
 /// output position `p` (row-major over `oy, ox`), column order `(c, ky, kx)`.
 ///
+/// Allocating convenience wrapper over
+/// [`im2col_into`](super::im2col_into); hot loops should call the slice
+/// variant with a reused buffer.
+///
 /// # Panics
 ///
 /// Panics if `input` is not rank-3 or the window does not fit.
 pub fn im2col(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
-    assert_eq!(input.shape().rank(), 3, "im2col expects [C,H,W]");
-    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-    let ho = conv_output_len(h, kh, stride, pad);
-    let wo = conv_output_len(w, kw, stride, pad);
-    let cols = c * kh * kw;
-    let mut out = Tensor::zeros(&[ho * wo, cols]);
-    for oy in 0..ho {
-        for ox in 0..wo {
-            let row = oy * wo + ox;
-            let mut col = 0usize;
-            for ci in 0..c {
-                for ky in 0..kh {
-                    let iy = (oy * stride + ky) as isize - pad as isize;
-                    for kx in 0..kw {
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            out[[row, col]] = input[[ci, iy as usize, ix as usize]];
-                        }
-                        col += 1;
-                    }
-                }
-            }
-        }
-    }
-    out
+    let mut buf = Vec::new();
+    let (rows, cols) = im2col_into(input, kh, kw, stride, pad, &mut buf);
+    Tensor::from_vec(&[rows, cols], buf)
 }
 
 /// Inverse of [`im2col`]: scatters (accumulating) a patch matrix back into an
@@ -75,30 +57,27 @@ pub fn col2im(
     assert_eq!(cols.dims()[0], ho * wo, "col2im row count mismatch");
     assert_eq!(cols.dims()[1], c * kh * kw, "col2im column count mismatch");
     let mut img = Tensor::zeros(&[c, h, w]);
-    for oy in 0..ho {
-        for ox in 0..wo {
-            let row = oy * wo + ox;
-            let mut col = 0usize;
-            for ci in 0..c {
-                for ky in 0..kh {
-                    let iy = (oy * stride + ky) as isize - pad as isize;
-                    for kx in 0..kw {
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            img[[ci, iy as usize, ix as usize]] += cols[[row, col]];
-                        }
-                        col += 1;
-                    }
-                }
-            }
-        }
-    }
+    col2im_from(
+        cols.as_slice(),
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        img.as_mut_slice(),
+    );
     img
 }
 
 /// Convolution forward via im2col + GEMM. Numerically identical to
 /// [`conv2d`](super::conv2d) (up to float associativity) and considerably
 /// faster for the MNIST-scale functional runs.
+///
+/// Allocating convenience wrapper over
+/// [`conv2d_im2col_with`](super::conv2d_im2col_with); hot loops should call
+/// the `_with` variant with a reused [`ConvScratch`].
 ///
 /// # Panics
 ///
@@ -110,34 +89,8 @@ pub fn conv2d_im2col(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    assert_eq!(weight.shape().rank(), 4, "weight must be [Cout,Cin,Kh,Kw]");
-    let (c_out, c_in, kh, kw) = (
-        weight.dims()[0],
-        weight.dims()[1],
-        weight.dims()[2],
-        weight.dims()[3],
-    );
-    assert_eq!(input.dims()[0], c_in, "channel mismatch");
-    let h = input.dims()[1];
-    let w = input.dims()[2];
-    let ho = conv_output_len(h, kh, stride, pad);
-    let wo = conv_output_len(w, kw, stride, pad);
-
-    let patches = im2col(input, kh, kw, stride, pad); // [P, C*Kh*Kw]
-    let wmat = weight.reshape(&[c_out, c_in * kh * kw]); // [Cout, C*Kh*Kw]
-                                                         // out[P, Cout] = patches · wmatᵀ ; compute as (wmat · patchesᵀ)ᵀ without
-                                                         // materialising transposes: iterate P rows.
-    let wt = Tensor::from_fn(&[c_in * kh * kw, c_out], |i| wmat[[i[1], i[0]]]);
-    let prod = matmul(&patches, &wt); // [P, Cout]
-
-    let mut out = Tensor::zeros(&[c_out, ho, wo]);
-    for p in 0..ho * wo {
-        let (oy, ox) = (p / wo, p % wo);
-        for co in 0..c_out {
-            out[[co, oy, ox]] = prod[[p, co]] + bias.as_slice()[co];
-        }
-    }
-    out
+    let mut scratch = ConvScratch::new();
+    conv2d_im2col_with(input, weight, bias, stride, pad, &mut scratch)
 }
 
 #[cfg(test)]

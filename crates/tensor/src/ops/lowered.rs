@@ -1,0 +1,460 @@
+//! GEMM-lowered convolution: forward and both backward passes as matrix
+//! products over reusable scratch buffers.
+//!
+//! The lowering mirrors how PipeLayer maps convolutions onto crossbars
+//! (Fig. 4): the weight tensor `[C_out, C_in, K_h, K_w]` is row-major, so its
+//! backing slice *is* the `[C_out, C_in·K_h·K_w]` kernel matrix with columns
+//! in `(c, ky, kx)` order — exactly the column order `im2col` produces. No
+//! transpose is ever materialised:
+//!
+//! * forward:           `out[P, C_out]   = patches · Wᵀ`          (`gemm_nt`)
+//! * backward-input:    `dcols[P, cols]  = δᵀ · W`, then `col2im` (`gemm_tn`)
+//! * backward-weights:  `dW[C_out, cols] = δ · patches`           (`gemm_nn`)
+//!
+//! where `P = H_out·W_out`, `cols = C_in·K_h·K_w`, and `δ` is the output
+//! error flattened to `[C_out, P]`.
+//!
+//! [`ConvScratch`] holds the patch/product buffers so a training loop that
+//! processes a whole batch through the same layer allocates them once, not
+//! once per sample per pass.
+
+use super::conv::conv_output_len;
+use super::gemm::{gemm_nn, gemm_nt, gemm_tn};
+use crate::Tensor;
+
+/// Reusable scratch space for the lowered convolution kernels.
+///
+/// Holds three growable buffers: the im2col patch matrix, a second patch
+/// buffer (so backward-to-input and backward-to-weights can coexist in one
+/// layer's backward pass), and the GEMM product. Buffers grow to the largest
+/// geometry seen and are then reused allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    pub(crate) cols: Vec<f32>,
+    pub(crate) cols2: Vec<f32>,
+    pub(crate) prod: Vec<f32>,
+}
+
+impl ConvScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Slice-based im2col: lowers `input [C,H,W]` into `out` as a row-major
+/// `[H_out·W_out, C·Kh·Kw]` patch matrix (resizing `out` as needed) and
+/// returns `(rows, cols)`.
+///
+/// Contiguous `kx` runs are block-copied from the input rows; out-of-bounds
+/// (padding) positions are zero-filled.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-3 or the window does not fit.
+pub fn im2col_into(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut Vec<f32>,
+) -> (usize, usize) {
+    assert_eq!(input.shape().rank(), 3, "im2col expects [C,H,W]");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let ho = conv_output_len(h, kh, stride, pad);
+    let wo = conv_output_len(w, kw, stride, pad);
+    let cols = c * kh * kw;
+    let rows = ho * wo;
+    out.clear();
+    out.resize(rows * cols, 0.0);
+    let src = input.as_slice();
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let rbase = (oy * wo + ox) * cols;
+            // kx is valid where 0 <= ox·s + kx − pad < w; the valid run maps
+            // to a contiguous span of the input row.
+            let xbase = (ox * stride) as isize - pad as isize;
+            let kx_lo = (-xbase).max(0) as usize;
+            let kx_hi = ((w as isize - xbase).max(0) as usize).min(kw);
+            for ci in 0..c {
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize || kx_lo >= kx_hi {
+                        continue; // padding row: already zero-filled
+                    }
+                    let dst = rbase + (ci * kh + ky) * kw;
+                    let s0 = (ci * h + iy as usize) * w + (xbase + kx_lo as isize) as usize;
+                    out[dst + kx_lo..dst + kx_hi].copy_from_slice(&src[s0..s0 + kx_hi - kx_lo]);
+                }
+            }
+        }
+    }
+    (rows, cols)
+}
+
+/// Slice-based adjoint of [`im2col_into`]: scatters (accumulating) a
+/// `[H_out·W_out, C·Kh·Kw]` patch matrix back into `img` (`[C,H,W]`
+/// row-major, fully overwritten).
+///
+/// # Panics
+///
+/// Panics if `cols_buf` or `img` have inconsistent lengths for the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_from(
+    cols_buf: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    img: &mut [f32],
+) {
+    let ho = conv_output_len(h, kh, stride, pad);
+    let wo = conv_output_len(w, kw, stride, pad);
+    let cols = c * kh * kw;
+    assert_eq!(
+        cols_buf.len(),
+        ho * wo * cols,
+        "col2im buffer size mismatch"
+    );
+    assert_eq!(img.len(), c * h * w, "col2im image size mismatch");
+    img.fill(0.0);
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let rbase = (oy * wo + ox) * cols;
+            let xbase = (ox * stride) as isize - pad as isize;
+            let kx_lo = (-xbase).max(0) as usize;
+            let kx_hi = ((w as isize - xbase).max(0) as usize).min(kw);
+            for ci in 0..c {
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize || kx_lo >= kx_hi {
+                        continue;
+                    }
+                    let srow = rbase + (ci * kh + ky) * kw;
+                    let d0 = (ci * h + iy as usize) * w + (xbase + kx_lo as isize) as usize;
+                    let dst = &mut img[d0..d0 + kx_hi - kx_lo];
+                    let srcrun = &cols_buf[srow + kx_lo..srow + kx_hi];
+                    for (d, &s) in dst.iter_mut().zip(srcrun) {
+                        *d += s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution forward via im2col + GEMM, reusing `scratch` buffers.
+///
+/// # Panics
+///
+/// Panics on rank/size mismatches between `input`, `weight` and `bias`.
+pub fn conv2d_im2col_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    scratch: &mut ConvScratch,
+) -> Tensor {
+    assert_eq!(weight.shape().rank(), 4, "weight must be [Cout,Cin,Kh,Kw]");
+    let (c_out, c_in, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(input.dims()[0], c_in, "channel mismatch");
+    assert_eq!(bias.dims(), [c_out], "bias must be [C_out]");
+    let ho = conv_output_len(input.dims()[1], kh, stride, pad);
+    let wo = conv_output_len(input.dims()[2], kw, stride, pad);
+
+    let (p, cols) = im2col_into(input, kh, kw, stride, pad, &mut scratch.cols);
+    // The weight slice is already the [C_out, cols] kernel matrix.
+    scratch.prod.clear();
+    scratch.prod.resize(p * c_out, 0.0);
+    gemm_nt(
+        &scratch.cols,
+        weight.as_slice(),
+        p,
+        cols,
+        c_out,
+        &mut scratch.prod,
+    );
+
+    let bs = bias.as_slice();
+    let mut out = vec![0.0f32; c_out * p];
+    for (pi, prow) in scratch.prod.chunks_exact(c_out).enumerate() {
+        for (co, (&v, &b)) in prow.iter().zip(bs).enumerate() {
+            out[co * p + pi] = v + b;
+        }
+    }
+    Tensor::from_vec(&[c_out, ho, wo], out)
+}
+
+/// GEMM-lowered backward pass to the input (`δ_l = conv2(δ, rot180(K),
+/// 'full')` of Sec. 4.3), reusing `scratch` buffers.
+///
+/// Computes `dcols = δᵀ · W` and scatters it with the col2im adjoint —
+/// handling any stride/padding natively, including the non-divisible
+/// strided geometries of AlexNet conv1.
+///
+/// # Panics
+///
+/// Panics on rank/size mismatches or inconsistent geometry.
+pub fn conv2d_backward_input_with(
+    delta: &Tensor,
+    weight: &Tensor,
+    input_hw: (usize, usize),
+    stride: usize,
+    pad: usize,
+    scratch: &mut ConvScratch,
+) -> Tensor {
+    assert_eq!(delta.shape().rank(), 3, "delta must be [Cout,Ho,Wo]");
+    assert_eq!(weight.shape().rank(), 4, "weight must be [Cout,Cin,Kh,Kw]");
+    let (c_out, dh, dw) = (delta.dims()[0], delta.dims()[1], delta.dims()[2]);
+    let (c_out_w, c_in, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(c_out, c_out_w, "delta/weight channel mismatch");
+    let (h, w) = input_hw;
+    assert_eq!(
+        dh,
+        conv_output_len(h, kh, stride, pad),
+        "delta height mismatch"
+    );
+    assert_eq!(
+        dw,
+        conv_output_len(w, kw, stride, pad),
+        "delta width mismatch"
+    );
+
+    let p = dh * dw;
+    let cols = c_in * kh * kw;
+    scratch.cols.clear();
+    scratch.cols.resize(p * cols, 0.0);
+    // δ is [C_out, P] row-major; W is [C_out, cols]: dcols[P, cols] = δᵀ · W.
+    gemm_tn(
+        delta.as_slice(),
+        weight.as_slice(),
+        c_out,
+        p,
+        cols,
+        &mut scratch.cols,
+    );
+    let mut dx = Tensor::zeros(&[c_in, h, w]);
+    col2im_from(
+        &scratch.cols,
+        c_in,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        dx.as_mut_slice(),
+    );
+    dx
+}
+
+/// GEMM-lowered backward pass to the weights (the "data-as-kernels"
+/// convolution of Sec. 4.4.1 / Fig. 12), reusing `scratch` buffers.
+///
+/// Computes `dW = δ · patches` plus the bias gradient `Σ δ[co,·,·]`.
+///
+/// # Panics
+///
+/// Panics on rank/size mismatches or inconsistent geometry.
+pub fn conv2d_backward_weights_with(
+    input: &Tensor,
+    delta: &Tensor,
+    kernel_hw: (usize, usize),
+    stride: usize,
+    pad: usize,
+    scratch: &mut ConvScratch,
+) -> (Tensor, Tensor) {
+    assert_eq!(input.shape().rank(), 3, "input must be [Cin,H,W]");
+    assert_eq!(delta.shape().rank(), 3, "delta must be [Cout,Ho,Wo]");
+    let (c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (c_out, dh, dw) = (delta.dims()[0], delta.dims()[1], delta.dims()[2]);
+    let (kh, kw) = kernel_hw;
+    assert_eq!(
+        dh,
+        conv_output_len(h, kh, stride, pad),
+        "delta height mismatch"
+    );
+    assert_eq!(
+        dw,
+        conv_output_len(w, kw, stride, pad),
+        "delta width mismatch"
+    );
+
+    let (p, cols) = im2col_into(input, kh, kw, stride, pad, &mut scratch.cols2);
+    let mut dweight = vec![0.0f32; c_out * cols];
+    // δ [C_out, P] · patches [P, cols] → dW [C_out, cols].
+    gemm_nn(
+        delta.as_slice(),
+        &scratch.cols2,
+        c_out,
+        p,
+        cols,
+        &mut dweight,
+    );
+    let dbias: Vec<f32> = delta
+        .as_slice()
+        .chunks_exact(p)
+        .map(|row| row.iter().sum())
+        .collect();
+    (
+        Tensor::from_vec(&[c_out, c_in, kh, kw], dweight),
+        Tensor::from_vec(&[c_out], dbias),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conv::{
+        conv2d, conv2d_backward_input_scalar, conv2d_backward_weights_scalar,
+    };
+    use super::super::im2col::{col2im, im2col};
+    use super::*;
+
+    fn test_case(c_in: usize, h: usize, w: usize, c_out: usize, k: usize) -> (Tensor, Tensor) {
+        let x = Tensor::from_fn(&[c_in, h, w], |i| {
+            ((i[0] * h * w + i[1] * w + i[2]) as f32 * 0.17).sin()
+        });
+        let wt = Tensor::from_fn(&[c_out, c_in, k, k], |i| {
+            ((i[0] * 11 + i[1] * 7 + i[2] * 3 + i[3]) as f32 * 0.23).cos() * 0.4
+        });
+        (x, wt)
+    }
+
+    #[test]
+    fn im2col_into_matches_tensor_im2col() {
+        let (x, _) = test_case(2, 7, 6, 1, 3);
+        for (k, stride, pad) in [(3, 1, 0), (3, 1, 1), (3, 2, 0), (3, 2, 1), (2, 3, 0)] {
+            let want = im2col(&x, k, k, stride, pad);
+            let mut buf = Vec::new();
+            let (rows, cols) = im2col_into(&x, k, k, stride, pad, &mut buf);
+            assert_eq!(&[rows, cols], want.dims());
+            assert_eq!(buf, want.as_slice(), "k={k} s={stride} p={pad}");
+        }
+    }
+
+    #[test]
+    fn col2im_from_matches_tensor_col2im() {
+        let cols = Tensor::from_fn(&[9, 8], |i| ((i[0] * 8 + i[1]) as f32 * 0.31).sin());
+        let want = col2im(&cols, 2, 4, 4, 2, 2, 1, 0);
+        let mut img = vec![42.0f32; 2 * 4 * 4]; // garbage: must be overwritten
+        col2im_from(cols.as_slice(), 2, 4, 4, 2, 2, 1, 0, &mut img);
+        assert_eq!(img, want.as_slice());
+    }
+
+    #[test]
+    fn lowered_forward_matches_direct() {
+        let (x, wt) = test_case(3, 8, 8, 4, 3);
+        let b = Tensor::from_vec(&[4], vec![0.1, -0.2, 0.3, 0.0]);
+        let mut scratch = ConvScratch::new();
+        for (stride, pad) in [(1, 0), (1, 1), (2, 0), (2, 1)] {
+            let direct = conv2d(&x, &wt, &b, stride, pad);
+            let lowered = conv2d_im2col_with(&x, &wt, &b, stride, pad, &mut scratch);
+            assert!(
+                direct.allclose(&lowered, 1e-4),
+                "forward mismatch at stride={stride} pad={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowered_backward_input_matches_scalar_strided_nondivisible() {
+        // (h + 2·pad − k) % stride != 0 — the AlexNet-conv1 edge geometry:
+        // 8−3 = 5 ≡ 1 (mod 2) and 8+2−3 = 7 ≡ 1 (mod 2).
+        let (x, wt) = test_case(2, 8, 8, 3, 3);
+        let b = Tensor::zeros(&[3]);
+        let mut scratch = ConvScratch::new();
+        for (stride, pad) in [(1, 0), (2, 0), (2, 1), (3, 1)] {
+            let delta = conv2d(&x, &wt, &b, stride, pad);
+            let scalar = conv2d_backward_input_scalar(&delta, &wt, (8, 8), stride, pad);
+            let lowered =
+                conv2d_backward_input_with(&delta, &wt, (8, 8), stride, pad, &mut scratch);
+            assert!(
+                scalar.allclose(&lowered, 1e-4),
+                "backward-input mismatch at stride={stride} pad={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowered_backward_weights_matches_scalar_strided_nondivisible() {
+        let (x, wt) = test_case(2, 8, 8, 3, 3);
+        let b = Tensor::zeros(&[3]);
+        let mut scratch = ConvScratch::new();
+        for (stride, pad) in [(1, 0), (2, 0), (2, 1), (3, 1)] {
+            let delta = conv2d(&x, &wt, &b, stride, pad);
+            let (dw_s, db_s) = conv2d_backward_weights_scalar(&x, &delta, (3, 3), stride, pad);
+            let (dw_l, db_l) =
+                conv2d_backward_weights_with(&x, &delta, (3, 3), stride, pad, &mut scratch);
+            assert!(
+                dw_s.allclose(&dw_l, 1e-4),
+                "backward-weights mismatch at stride={stride} pad={pad}"
+            );
+            assert!(
+                db_s.allclose(&db_l, 1e-5),
+                "bias mismatch at stride={stride} pad={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_geometries() {
+        // Shrinking then growing geometry must not leave stale values behind.
+        let mut scratch = ConvScratch::new();
+        let (x1, w1) = test_case(2, 9, 9, 3, 3);
+        let (x2, w2) = test_case(1, 4, 4, 2, 2);
+        let b1 = Tensor::zeros(&[3]);
+        let b2 = Tensor::zeros(&[2]);
+        for _ in 0..2 {
+            let big = conv2d_im2col_with(&x1, &w1, &b1, 1, 1, &mut scratch);
+            assert!(big.allclose(&conv2d(&x1, &w1, &b1, 1, 1), 1e-4));
+            let small = conv2d_im2col_with(&x2, &w2, &b2, 2, 0, &mut scratch);
+            assert!(small.allclose(&conv2d(&x2, &w2, &b2, 2, 0), 1e-4));
+        }
+    }
+
+    #[test]
+    fn lowered_backward_input_propagates_nan() {
+        // A NaN weight must reach dx even when every delta entry is zero.
+        let wt = Tensor::from_vec(&[1, 1, 1, 1], vec![f32::NAN]);
+        let delta = Tensor::zeros(&[1, 2, 2]);
+        let mut scratch = ConvScratch::new();
+        let dx = conv2d_backward_input_with(&delta, &wt, (2, 2), 1, 0, &mut scratch);
+        assert!(dx.as_slice().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn lowered_backward_weights_propagates_nan() {
+        // A NaN activation must reach dW even when delta is zero.
+        let x = Tensor::from_vec(&[1, 1, 1], vec![f32::NAN]);
+        let delta = Tensor::zeros(&[1, 1, 1]);
+        let mut scratch = ConvScratch::new();
+        let (dw, db) = conv2d_backward_weights_with(&x, &delta, (1, 1), 1, 0, &mut scratch);
+        assert!(dw.as_slice()[0].is_nan());
+        assert_eq!(db.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn lowered_forward_propagates_nan() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![f32::NAN, 0.0, 0.0, 0.0]);
+        let wt = Tensor::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1]);
+        let mut scratch = ConvScratch::new();
+        let y = conv2d_im2col_with(&x, &wt, &b, 1, 0, &mut scratch);
+        assert!(y.as_slice()[0].is_nan(), "0-weight · NaN input must be NaN");
+    }
+}

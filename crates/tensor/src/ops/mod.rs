@@ -6,11 +6,19 @@
 mod conv;
 mod gemm;
 mod im2col;
+mod lowered;
 mod pool;
 
-pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weights, conv_output_len, rot180};
-pub use gemm::{matmul, matvec, matvec_transposed, outer};
+pub use conv::{
+    conv2d, conv2d_backward_input, conv2d_backward_input_scalar, conv2d_backward_weights,
+    conv2d_backward_weights_scalar, conv_output_len, rot180,
+};
+pub use gemm::{matmul, matmul_nt, matmul_tn, matvec, matvec_transposed, outer, outer_acc};
 pub use im2col::{col2im, conv2d_im2col, im2col};
+pub use lowered::{
+    col2im_from, conv2d_backward_input_with, conv2d_backward_weights_with, conv2d_im2col_with,
+    im2col_into, ConvScratch,
+};
 pub use pool::{
     avgpool2d, avgpool2d_backward, maxpool2d, maxpool2d_backward, pool_output_len, PoolIndices,
 };

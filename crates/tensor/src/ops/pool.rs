@@ -45,12 +45,17 @@ pub fn maxpool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, PoolIndice
     for ci in 0..c {
         for oy in 0..ho {
             for ox in 0..wo {
-                let mut best = f32::NEG_INFINITY;
-                let mut best_off = 0usize;
+                // Seed the argmax from the window's own first element, never a
+                // sentinel: with a NEG_INFINITY/offset-0 default, an all-NaN
+                // (or all -inf) window never fires `v > best` and routes its
+                // gradient to linear offset 0 — the wrong channel entirely.
+                let (iy0, ix0) = (oy * stride, ox * stride);
+                let mut best = input[[ci, iy0, ix0]];
+                let mut best_off = (ci * h + iy0) * w + ix0;
                 for ky in 0..k {
                     for kx in 0..k {
-                        let iy = oy * stride + ky;
-                        let ix = ox * stride + kx;
+                        let iy = iy0 + ky;
+                        let ix = ix0 + kx;
                         let v = input[[ci, iy, ix]];
                         if v > best {
                             best = v;
@@ -249,6 +254,52 @@ mod tests {
         let dx = maxpool2d_backward(&y, &idx);
         // Gradient of 0.5*||maxpool(x)||^2 wrt the winner is the output value.
         assert_eq!(dx.as_slice(), &[0.0, 9.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_all_nan_window_stays_in_window() {
+        // Regression: channel 1's window is all-NaN. The old argmax init
+        // (best = -inf, best_off = 0) never updated, so the gradient was
+        // routed to linear offset 0 — channel 0's first element.
+        let x = Tensor::from_vec(
+            &[2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, f32::NAN, f32::NAN, f32::NAN, f32::NAN],
+        );
+        let (y, idx) = maxpool2d(&x, 2, 2);
+        assert!(y[[1, 0, 0]].is_nan(), "all-NaN window must pool to NaN");
+        let delta = Tensor::from_vec(&[2, 1, 1], vec![0.0, 7.0]);
+        let dx = maxpool2d_backward(&delta, &idx);
+        assert_eq!(
+            dx[[0, 0, 0]],
+            0.0,
+            "channel-1 gradient must not leak into channel 0"
+        );
+        let ch1_sum: f32 = dx.as_slice()[4..8].iter().sum();
+        assert_eq!(ch1_sum, 7.0, "gradient must land inside channel 1's window");
+    }
+
+    #[test]
+    fn maxpool_all_neg_inf_window_stays_in_window() {
+        let x = Tensor::from_vec(
+            &[2, 2, 2],
+            vec![
+                1.0,
+                2.0,
+                3.0,
+                4.0,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+            ],
+        );
+        let (y, idx) = maxpool2d(&x, 2, 2);
+        assert_eq!(y[[1, 0, 0]], f32::NEG_INFINITY);
+        let delta = Tensor::from_vec(&[2, 1, 1], vec![0.0, 3.0]);
+        let dx = maxpool2d_backward(&delta, &idx);
+        assert_eq!(dx[[0, 0, 0]], 0.0);
+        let ch1_sum: f32 = dx.as_slice()[4..8].iter().sum();
+        assert_eq!(ch1_sum, 3.0);
     }
 
     #[test]
