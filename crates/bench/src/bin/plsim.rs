@@ -37,7 +37,9 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
-                        flags.push((name.to_string(), it.next().unwrap().clone()));
+                        let value = (*v).clone();
+                        it.next();
+                        flags.push((name.to_string(), value));
                     }
                     _ => bools.push(name.to_string()),
                 }

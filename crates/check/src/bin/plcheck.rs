@@ -1,0 +1,182 @@
+//! `plcheck` — pre-flight static verification of PipeLayer workloads.
+//!
+//! ```text
+//! plcheck [OPTIONS] [NETWORK ...]
+//!
+//! Networks: Mnist-A Mnist-B Mnist-C Mnist-0 AlexNet VGG-A VGG-B VGG-C VGG-D VGG-E
+//!           (case-insensitive; default: all ten evaluation networks)
+//!
+//! Options:
+//!   --json            machine-readable output (one JSON object per network)
+//!   --batch N         training batch size (default 64)
+//!   --g G1,G2,...     per-layer replication override
+//!   --depths D1,...   per-layer buffer-depth override (paper: 2(L-l)+1)
+//!   --budget N        conv-array crossbar budget (default 65536)
+//!   --codes           print the PL0xx diagnostic code table and exit
+//!   --quiet           suppress per-network OK lines
+//!
+//! Exit status: 0 if no error-severity diagnostic, 1 otherwise, 2 on usage
+//! errors.
+//! ```
+
+use pipelayer::PipeLayerConfig;
+use pipelayer_check::{diag, has_errors, Overrides, Severity};
+use pipelayer_nn::spec::NetSpec;
+use pipelayer_nn::zoo;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: plcheck [--json] [--quiet] [--codes] [--batch N] [--g G1,G2,...] \
+     [--depths D1,D2,...] [--budget N] [NETWORK ...]"
+        .to_string()
+}
+
+fn find_network(name: &str) -> Option<NetSpec> {
+    zoo::evaluation_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+fn parse_csv(raw: &str, flag: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--{flag}: `{p}` is not a number"))
+        })
+        .collect()
+}
+
+struct Cli {
+    json: bool,
+    quiet: bool,
+    cfg: PipeLayerConfig,
+    over: Overrides,
+    nets: Vec<NetSpec>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Option<Cli>, String> {
+    let mut json = false;
+    let mut quiet = false;
+    let mut cfg = PipeLayerConfig::default();
+    let mut over = Overrides::default();
+    let mut names: Vec<String> = Vec::new();
+
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("--{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--codes" => {
+                for (code, what) in diag::CODE_TABLE {
+                    println!("{code}  {what}");
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            "--batch" => {
+                cfg.batch_size = take("batch")?
+                    .parse()
+                    .map_err(|_| "--batch: not a number".to_string())?;
+            }
+            "--g" => over.granularity = Some(parse_csv(take("g")?, "g")?),
+            "--depths" => over.depths = Some(parse_csv(take("depths")?, "depths")?),
+            "--budget" => {
+                over.conv_xbar_budget = Some(
+                    take("budget")?
+                        .parse()
+                        .map_err(|_| "--budget: not a number".to_string())?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let nets = if names.is_empty() {
+        zoo::evaluation_specs()
+    } else {
+        let mut nets = Vec::with_capacity(names.len());
+        for name in &names {
+            nets.push(find_network(name).ok_or_else(|| {
+                format!(
+                    "unknown network `{name}` (expected one of: {})",
+                    zoo::evaluation_specs()
+                        .iter()
+                        .map(|s| s.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?);
+        }
+        nets
+    };
+    if (over.granularity.is_some() || over.depths.is_some()) && nets.len() > 1 {
+        return Err("--g/--depths overrides need exactly one NETWORK".to_string());
+    }
+    Ok(Some(Cli {
+        json,
+        quiet,
+        cfg,
+        over,
+        nets,
+    }))
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&raw) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut any_error = false;
+    let mut json_nets: Vec<String> = Vec::new();
+    for net in &cli.nets {
+        let diags = pipelayer_check::verify_with(net, &cli.cfg, &cli.over);
+        let errors = has_errors(&diags);
+        any_error |= errors;
+        if cli.json {
+            json_nets.push(format!(
+                "{{\"network\":\"{}\",\"ok\":{},\"diagnostics\":{}}}",
+                net.name,
+                !errors,
+                pipelayer_check::render_json(&diags)
+            ));
+        } else {
+            let min = if cli.quiet {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            for d in diags.iter().filter(|d| d.severity >= min) {
+                println!("{}", d.render());
+            }
+            if errors {
+                println!("{}: FAIL", net.name);
+            } else if !cli.quiet {
+                println!("{}: OK ({} diagnostics)", net.name, diags.len());
+            }
+        }
+    }
+    if cli.json {
+        println!("[{}]", json_nets.join(","));
+    }
+    if any_error {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

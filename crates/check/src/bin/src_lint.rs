@@ -1,0 +1,483 @@
+//! `src-lint` — the repo-wide determinism/panic lint gate.
+//!
+//! A dependency-free (std-only, line-oriented) scan over `crates/*/src`
+//! that keeps library code panic-free and deterministic:
+//!
+//! * **Forbidden in non-test code**: `unwrap()`, `.expect(`, `panic!(` and
+//!   `assert!(` (with word boundaries, so `debug_assert!` — compiled out in
+//!   release — passes). Existing sites live in the checked-in allowlist
+//!   `lint-allow.txt`, whose per-file counts may only *shrink*: a new site
+//!   fails the build, and so does a stale (over-counted) entry, forcing the
+//!   allowlist to track reality downward.
+//! * **Nondeterminism hazards**: `HashMap`/`HashSet` (iteration order is
+//!   randomized — numeric paths must use `BTreeMap`/sorted `Vec`s) are
+//!   allowlisted errors; `==`/`!=` against float literals are printed as
+//!   warnings (exact-zero guards are common and legal, so they never fail
+//!   the build, but new ones should be eyeballed).
+//!
+//! Test modules (`#[cfg(test)]`), comments and doc lines are exempt.
+//!
+//! ```text
+//! src-lint [--root DIR] [--write-allowlist]
+//! ```
+//!
+//! Exit status: 0 clean, 1 on any lint failure, 2 on usage/I-O errors.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The allowlist file, relative to the workspace root.
+const ALLOWLIST: &str = "lint-allow.txt";
+
+/// One forbidden-pattern class. The needles are assembled from fragments at
+/// runtime so this file does not match its own patterns.
+#[derive(Debug, Clone)]
+struct Pattern {
+    /// Allowlist key (`unwrap`, `expect`, `panic`, `assert`, `hashmap`).
+    name: &'static str,
+    /// Exact substring to search for.
+    needle: String,
+    /// Whether the character before a match must not be `[A-Za-z0-9_]`.
+    word_start: bool,
+}
+
+fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            name: "unwrap",
+            needle: ["unwrap", "()"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "expect",
+            needle: [".exp", "ect("].concat(),
+            word_start: false,
+        },
+        Pattern {
+            name: "panic",
+            needle: ["pan", "ic!("].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "assert",
+            needle: ["ass", "ert!("].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "hashmap",
+            needle: ["Hash", "Map"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "hashmap",
+            needle: ["Hash", "Set"].concat(),
+            word_start: true,
+        },
+    ]
+}
+
+fn is_word_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Occurrences of `pat` in `code`, honouring the word-start rule.
+fn count_matches(code: &str, pat: &Pattern) -> usize {
+    let bytes = code.as_bytes();
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&pat.needle) {
+        let at = from + pos;
+        let boundary = !pat.word_start || at == 0 || !is_word_char(bytes[at - 1]);
+        if boundary {
+            n += 1;
+        }
+        from = at + pat.needle.len();
+    }
+    n
+}
+
+/// Returns `line` with string-literal contents emptied, char literals
+/// blanked, and any `//` line comment truncated — so neither pattern
+/// matching nor test-module brace counting can be derailed by quoted
+/// braces, quoted quotes, or commented-out code.
+fn sanitize(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                out.push_str("\"\"");
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' if i + 2 < bytes.len() && bytes[i + 1] == b'\\' => {
+                // Escaped char literal: skip `'\`, the payload, and the quote.
+                let mut j = i + 3;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                out.push_str("' '");
+                i = j + 1;
+            }
+            b'\'' if i + 2 < bytes.len() && bytes[i + 2] == b'\'' => {
+                out.push_str("' '"); // plain char literal
+                i += 3;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `true` if the token run touching `==`/`!=` on either side looks like a
+/// float literal (`1.0`, `0.`, `.5`).
+fn float_adjacent(code: &str, op_at: usize, op_len: usize) -> bool {
+    let before = code[..op_at].trim_end();
+    let after = code[op_at + op_len..].trim_start();
+    let tail: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
+        .collect();
+    let head: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
+        .collect();
+    let is_float =
+        |t: &str| t.contains('.') && t.chars().any(|c| c.is_ascii_digit()) && !t.starts_with("..");
+    is_float(&tail.chars().rev().collect::<String>()) || is_float(&head)
+}
+
+#[derive(Debug, Default)]
+struct FileReport {
+    /// pattern name → hit count in non-test code.
+    counts: BTreeMap<&'static str, usize>,
+    /// (line number, code) for float-equality warnings.
+    float_eq: Vec<(usize, String)>,
+}
+
+/// Scans one file, skipping `#[cfg(test)]` items/modules and comments.
+fn scan_file(text: &str, pats: &[Pattern]) -> FileReport {
+    let mut report = FileReport::default();
+    let mut pending_cfg_test = false;
+    let mut skip_depth: i64 = -1; // >= 0 while inside a #[cfg(test)] block
+    let cfg_test_attr: String = ["#[cfg(", "test)]"].concat();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue; // doc or plain comment line
+        }
+        let code = sanitize(raw);
+
+        if skip_depth >= 0 {
+            skip_depth += code.matches('{').count() as i64;
+            skip_depth -= code.matches('}').count() as i64;
+            if skip_depth <= 0 {
+                skip_depth = -1;
+            }
+            continue;
+        }
+        if trimmed.starts_with(&cfg_test_attr) {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with("#[") {
+                continue; // further attributes on the same test item
+            }
+            pending_cfg_test = false;
+            let opens = code.matches('{').count() as i64 - code.matches('}').count() as i64;
+            if opens > 0 {
+                skip_depth = opens;
+            }
+            continue; // the item line itself is test code
+        }
+
+        for pat in pats {
+            let n = count_matches(&code, pat);
+            if n > 0 {
+                *report.counts.entry(pat.name).or_insert(0) += n;
+            }
+        }
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(op) {
+                let at = from + pos;
+                if float_adjacent(&code, at, op.len()) {
+                    report.float_eq.push((lineno + 1, code.trim().to_string()));
+                }
+                from = at + op.len();
+            }
+        }
+    }
+    report
+}
+
+/// All `.rs` files under `root/crates/*/src`, sorted for determinism.
+fn source_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    let mut files = Vec::new();
+    for krate in crates {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Parses `lint-allow.txt`: `path pattern count` per line, `#` comments.
+fn parse_allowlist(text: &str) -> Result<BTreeMap<(String, String), usize>, String> {
+    let mut map = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(pat), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "{ALLOWLIST}:{}: expected `path pattern count`",
+                lineno + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{ALLOWLIST}:{}: bad count `{count}`", lineno + 1))?;
+        map.insert((path.to_string(), pat.to_string()), count);
+    }
+    Ok(map)
+}
+
+fn run() -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut write_allowlist = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?));
+            }
+            "--write-allowlist" => write_allowlist = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        // crates/check/../.. = the workspace root.
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let root = root
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve root {}: {e}", root.display()))?;
+
+    let pats = patterns();
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut float_warnings: Vec<String> = Vec::new();
+    let mut totals: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for path in source_files(&root)? {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report = scan_file(&text, &pats);
+        let relpath = rel(&root, &path);
+        for (name, n) in report.counts {
+            counts.insert((relpath.clone(), name.to_string()), n);
+            *totals.entry(name).or_insert(0) += n;
+        }
+        for (lineno, code) in report.float_eq {
+            float_warnings.push(format!(
+                "warning[float-eq]: {relpath}:{lineno}: float-literal equality: `{code}`"
+            ));
+        }
+    }
+
+    if write_allowlist {
+        let mut out = String::new();
+        out.push_str(
+            "# src-lint allowlist. Checked by `cargo run -p pipelayer-check --bin src-lint`.\n",
+        );
+        out.push_str("# Format: <path> <pattern> <count>. Counts may only SHRINK: a new site\n");
+        out.push_str("# fails the lint, and so does an over-counted (stale) entry.\n");
+        out.push_str("# Baseline at introduction (PR 3): ");
+        let summary: Vec<String> = totals.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&summary.join(" "));
+        out.push('\n');
+        for ((path, pat), n) in &counts {
+            out.push_str(&format!("{path} {pat} {n}\n"));
+        }
+        fs::write(root.join(ALLOWLIST), out)
+            .map_err(|e| format!("cannot write {ALLOWLIST}: {e}"))?;
+        println!("wrote {} entries to {ALLOWLIST}", counts.len());
+        return Ok(true);
+    }
+
+    let allow_text = fs::read_to_string(root.join(ALLOWLIST)).unwrap_or_default();
+    let allowed = parse_allowlist(&allow_text)?;
+
+    let mut failures: Vec<String> = Vec::new();
+    for ((path, pat), &n) in &counts {
+        let cap = allowed
+            .get(&(path.clone(), pat.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n > cap {
+            failures.push(format!(
+                "error[{pat}]: {path}: {n} non-test site(s), allowlist caps it at {cap} — \
+                 convert the new site to Result or shrink it some other way"
+            ));
+        }
+    }
+    for ((path, pat), &cap) in &allowed {
+        let n = counts
+            .get(&(path.clone(), pat.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n < cap {
+            failures.push(format!(
+                "error[stale-allowlist]: {path}: {pat} allowlisted at {cap} but only {n} \
+                 found — shrink the entry in {ALLOWLIST} to lock in the progress"
+            ));
+        }
+    }
+
+    for w in &float_warnings {
+        println!("{w}");
+    }
+    for f in &failures {
+        println!("{f}");
+    }
+    let summary: Vec<String> = totals.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!(
+        "src-lint: {} file-pattern entries ({}), {} float-eq warning(s), {} failure(s)",
+        counts.len(),
+        summary.join(" "),
+        float_warnings.len(),
+        failures.len()
+    );
+    Ok(failures.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_forbidden_patterns_with_boundaries() {
+        let pats = patterns();
+        let text = "fn f() { x.unwrap(); debug_assert!(x > 0); assert!(y); }\n";
+        let report = scan_file(text, &pats);
+        assert_eq!(report.counts.get("unwrap"), Some(&1));
+        assert_eq!(report.counts.get("assert"), Some(&1)); // not debug_assert!
+    }
+
+    #[test]
+    fn test_modules_and_comments_are_exempt() {
+        let pats = patterns();
+        let text = "\
+fn lib() { real(); }
+// x.unwrap() in a comment
+/// doc: panics via assert!(x)
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(\"boom\"); }
+}
+fn lib2() { x.expect(\"invariant\"); }
+";
+        let report = scan_file(text, &pats);
+        assert_eq!(report.counts.get("unwrap"), None);
+        assert_eq!(report.counts.get("panic"), None);
+        assert_eq!(report.counts.get("expect"), Some(&1));
+    }
+
+    #[test]
+    fn float_equality_is_flagged_ints_are_not() {
+        let pats = patterns();
+        let report = scan_file("if x == 0.0 { }\nif n == 3 { }\nif y != 1.5 { }\n", &pats);
+        assert_eq!(report.float_eq.len(), 2);
+    }
+
+    #[test]
+    fn hash_collections_are_flagged() {
+        let pats = patterns();
+        let needle = ["use std::collections::Hash", "Map;\n"].concat();
+        let report = scan_file(&needle, &pats);
+        assert_eq!(report.counts.get("hashmap"), Some(&1));
+    }
+
+    #[test]
+    fn sanitize_neutralises_literals_and_comments() {
+        assert_eq!(sanitize("let c = '\"'; // tail"), "let c = ' '; ");
+        assert_eq!(sanitize("let s = \"a // }{ b\";"), "let s = \"\";");
+        assert_eq!(sanitize("let q = '\\''; rest"), "let q = ' '; rest");
+        assert_eq!(
+            sanitize("fn f<'a>(x: &'a str) {}"),
+            "fn f<'a>(x: &'a str) {}"
+        );
+    }
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let map = parse_allowlist("# c\npath.rs unwrap 3\n\npath.rs assert 1\n").expect("parses");
+        assert_eq!(map.get(&("path.rs".into(), "unwrap".into())), Some(&3));
+        assert!(parse_allowlist("broken line").is_err());
+    }
+}

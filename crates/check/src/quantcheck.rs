@@ -1,0 +1,94 @@
+//! Quantization / spike-coding sanity: the device's bit-width knobs must
+//! compose — `data_bits` splits into `cell_bits` segment groups (Fig. 14),
+//! the spike driver injects one time slot per data bit (Fig. 9a, at most
+//! 32), and the functional quantizer models 1..=24-bit resolutions.
+
+use crate::diag::{self, Diagnostic};
+use pipelayer::PipeLayerConfig;
+use pipelayer_quant::Quantizer;
+
+/// Maximum spike-train slots the Fig. 9(a) driver supports
+/// (`SpikeTrain::encode` in `pipelayer-reram`).
+pub const MAX_SPIKE_SLOTS: u8 = 32;
+
+/// Checks the bit-width configuration in `cfg.params`.
+pub fn check(cfg: &PipeLayerConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let cell = cfg.params.cell_bits;
+    let data = cfg.params.data_bits;
+
+    if cell == 0 || data == 0 || !data.is_multiple_of(cell) {
+        diags.push(Diagnostic::error(
+            diag::QUANT_BITS_MISALIGNED,
+            "config.params",
+            format!("data_bits = {data} does not split into {cell}-bit cell segment groups"),
+            "Fig. 14 decomposes each word into data_bits/cell_bits segment groups; \
+             data_bits must be a positive multiple of cell_bits (default 16 = 4 x 4)",
+        ));
+    }
+    if data > MAX_SPIKE_SLOTS {
+        diags.push(Diagnostic::error(
+            diag::QUANT_SPIKE_OVERFLOW,
+            "config.params",
+            format!("data_bits = {data} exceeds the {MAX_SPIKE_SLOTS}-slot spike-train limit"),
+            "the Fig. 9(a) driver injects one LSBF time slot per data bit; \
+             one array-read phase cannot exceed 32 slots",
+        ));
+    } else if data > 0 && Quantizer::try_new(data).is_err() {
+        diags.push(Diagnostic::warning(
+            diag::QUANT_UNSUPPORTED_RESOLUTION,
+            "config.params",
+            format!("data_bits = {data} is outside the functional quantizer's 1..=24-bit range"),
+            "timing/energy models still apply, but the functional datapath \
+             (quantize-dequantize, Fig. 13 studies) cannot model this resolution",
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn with_bits(cell: u8, data: u8) -> PipeLayerConfig {
+        let mut cfg = PipeLayerConfig::default();
+        cfg.params.cell_bits = cell;
+        cfg.params.data_bits = data;
+        cfg
+    }
+
+    #[test]
+    fn defaults_are_clean() {
+        assert!(check(&PipeLayerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn misaligned_bits_are_rejected() {
+        for (cell, data) in [(0u8, 16u8), (4, 0), (5, 16), (3, 16)] {
+            let diags = check(&with_bits(cell, data));
+            assert!(
+                diags.iter().any(|d| d.code == diag::QUANT_BITS_MISALIGNED),
+                "cell={cell} data={data}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spike_overflow_is_an_error() {
+        let diags = check(&with_bits(4, 40));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == diag::QUANT_SPIKE_OVERFLOW && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn beyond_quantizer_range_is_a_warning() {
+        // 28 = 7 x 4-bit groups: physically mappable, spike-encodable, but
+        // past the functional quantizer's 24-bit ceiling.
+        let diags = check(&with_bits(4, 28));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, diag::QUANT_UNSUPPORTED_RESOLUTION);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+}

@@ -1,0 +1,128 @@
+//! Regression: every evaluation network verifies clean under the default
+//! configuration, and deliberately broken workloads produce exactly the
+//! expected `PL0xx` codes.
+
+use pipelayer::granularity::default_granularity;
+use pipelayer::PipeLayerConfig;
+use pipelayer_check::{diag, has_errors, schedule, verify, verify_with, Overrides, Severity};
+use pipelayer_nn::spec::{LayerSpec, NetSpec, PoolKind};
+use pipelayer_nn::zoo;
+
+#[test]
+fn every_zoo_network_verifies_clean() {
+    let cfg = PipeLayerConfig::default();
+    for spec in zoo::evaluation_specs() {
+        let diags = verify(&spec, &cfg);
+        assert!(
+            !has_errors(&diags),
+            "{} should be clean, got: {}",
+            spec.name,
+            diags
+                .iter()
+                .map(|d| d.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn undersized_buffer_yields_stale_read_code() {
+    let spec = zoo::alexnet();
+    let l = spec.weighted_layers();
+    let mut depths = schedule::paper_depths(l);
+    depths[0] -= 1; // 2(L-1)+1 -> 2(L-1): one slot short
+    let over = Overrides {
+        depths: Some(depths),
+        ..Overrides::default()
+    };
+    let diags = verify_with(&spec, &PipeLayerConfig::default(), &over);
+    assert!(has_errors(&diags));
+    let stale: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == diag::SCHED_STALE_READ)
+        .collect();
+    assert_eq!(stale.len(), 1, "{diags:?}");
+    assert!(stale[0].location.contains("buffer d1"));
+}
+
+#[test]
+fn over_replicated_granularity_yields_capacity_code() {
+    // Force every conv layer to its max replication but slash the crossbar
+    // budget: the mapping cannot fit.
+    let spec = zoo::vgg(zoo::VggVariant::A);
+    let g = default_granularity(&spec.resolve());
+    let over = Overrides {
+        granularity: Some(g),
+        conv_xbar_budget: Some(64),
+        ..Overrides::default()
+    };
+    let diags = verify_with(&spec, &PipeLayerConfig::default(), &over);
+    assert!(diags
+        .iter()
+        .any(|d| d.code == diag::MAP_OVER_CAPACITY && d.severity == Severity::Error));
+}
+
+#[test]
+fn conv_window_larger_than_input_yields_shape_code() {
+    // 8x8 input -> conv3 (6x6) -> pool3/3 (2x2) -> conv3 cannot fit.
+    let spec = NetSpec::new(
+        "broken-shapes",
+        (1, 8, 8),
+        vec![
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 4,
+                stride: 1,
+                pad: 0,
+            },
+            LayerSpec::Pool {
+                k: 3,
+                stride: 3,
+                kind: PoolKind::Max,
+            },
+            LayerSpec::Conv {
+                k: 3,
+                c_out: 8,
+                stride: 1,
+                pad: 0,
+            },
+        ],
+    );
+    let diags = verify(&spec, &PipeLayerConfig::default());
+    assert!(has_errors(&diags));
+    assert!(diags
+        .iter()
+        .any(|d| d.code == diag::SHAPE_WINDOW_TOO_BIG && d.location.contains("layer 2")));
+    // Shape errors suppress the downstream schedule/mapping passes.
+    assert!(!diags.iter().any(|d| d.code == diag::SCHED_STALE_READ));
+}
+
+#[test]
+fn fc_mismatch_is_impossible_by_construction_but_zero_outputs_is_not() {
+    let spec = NetSpec::new(
+        "zero-out",
+        (1, 4, 4),
+        vec![LayerSpec::Fc { n_out: 8 }, LayerSpec::Fc { n_out: 0 }],
+    );
+    let diags = verify(&spec, &PipeLayerConfig::default());
+    assert!(diags.iter().any(|d| d.code == diag::SHAPE_ZERO_OUTPUTS));
+}
+
+#[test]
+fn bad_device_bits_yield_quant_codes_for_any_network() {
+    let mut cfg = PipeLayerConfig::default();
+    cfg.params.data_bits = 40; // > 32 spike slots, and 40 % 4 == 0
+    let diags = verify(&zoo::spec_mnist_a(), &cfg);
+    assert!(diags.iter().any(|d| d.code == diag::QUANT_SPIKE_OVERFLOW));
+}
+
+#[test]
+fn json_rendering_is_well_formed_enough_to_grep() {
+    let diags = verify(&zoo::spec_mnist_a(), &PipeLayerConfig::default());
+    let json = pipelayer_check::render_json(&diags);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    for d in &diags {
+        assert!(json.contains(d.code));
+    }
+}

@@ -11,6 +11,8 @@
 //! * pipelined testing: no weight updates, so inputs stream without batch
 //!   drains → `N + L − 1`.
 
+use crate::config::ConfigError;
+
 /// Cycle counts and array/buffer costs from the Table 2 formulas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Analysis {
@@ -23,12 +25,28 @@ pub struct Analysis {
 impl Analysis {
     /// Creates an analysis for `L` layers and batch `B`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroLayers`] if `l` is zero and
+    /// [`ConfigError::ZeroBatch`] if `b` is zero.
+    pub fn try_new(l: usize, b: usize) -> Result<Self, ConfigError> {
+        if l == 0 {
+            return Err(ConfigError::ZeroLayers);
+        }
+        if b == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(Analysis { l, b })
+    }
+
+    /// Creates an analysis for `L` layers and batch `B`.
+    ///
     /// # Panics
     ///
-    /// Panics if either is zero.
+    /// Panics if either is zero (a degenerate configuration). Use
+    /// [`try_new`](Self::try_new) to handle the error instead.
     pub fn new(l: usize, b: usize) -> Self {
-        assert!(l > 0 && b > 0, "degenerate configuration");
-        Analysis { l, b }
+        Self::try_new(l, b).unwrap_or_else(|e| panic!("degenerate configuration: {e}"))
     }
 
     /// Non-pipelined training cycles for `n` images: `(2L+1)N + N/B`.
@@ -183,6 +201,20 @@ mod tests {
         assert_eq!(a.morphable_groups_pipelined(2), 2 * 3 + 2 * 2 + 64 * 3);
         assert_eq!(a.memory_groups_nonpipelined(), 6);
         assert_eq!(a.memory_groups_pipelined(), (5 + 3 + 1) + 4);
+    }
+
+    #[test]
+    fn try_new_reports_which_knob_is_zero() {
+        use crate::config::ConfigError;
+        assert_eq!(Analysis::try_new(0, 64), Err(ConfigError::ZeroLayers));
+        assert_eq!(Analysis::try_new(3, 0), Err(ConfigError::ZeroBatch));
+        assert_eq!(Analysis::try_new(3, 64), Ok(Analysis { l: 3, b: 64 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate configuration")]
+    fn new_panics_on_zero_layers() {
+        Analysis::new(0, 64);
     }
 
     #[test]

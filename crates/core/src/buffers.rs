@@ -11,6 +11,8 @@
 //! allow a same-cycle read and write; [`CircularBuffer::same_cycle_conflicts`]
 //! counts exactly those cases).
 
+use crate::config::ConfigError;
+
 /// A tagged circular buffer: each write deposits `(tag, cycle)` into the
 /// next slot round-robin; reads look a fixed number of slots back and check
 /// the tag, which makes stale-data bugs (undersized buffers) observable.
@@ -26,18 +28,30 @@ pub struct CircularBuffer {
 impl CircularBuffer {
     /// Creates a buffer with `depth` slots.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `depth` is zero.
-    pub fn new(depth: usize) -> Self {
-        assert!(depth > 0, "buffer needs at least one slot");
-        CircularBuffer {
+    /// Returns [`ConfigError::ZeroDepth`] if `depth` is zero.
+    pub fn try_new(depth: usize) -> Result<Self, ConfigError> {
+        if depth == 0 {
+            return Err(ConfigError::ZeroDepth);
+        }
+        Ok(CircularBuffer {
             slots: vec![None; depth],
             head: 0,
             writes: 0,
             conflicts: 0,
             last_write_cycle: None,
-        }
+        })
+    }
+
+    /// Creates a buffer with `depth` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero. Use [`try_new`](Self::try_new) to handle
+    /// the error instead.
+    pub fn new(depth: usize) -> Self {
+        Self::try_new(depth).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of slots.
@@ -94,6 +108,21 @@ mod tests {
         // ...but the 5th overwrite evicts it.
         buf.write(5, 5);
         assert!(!buf.read(0, 5));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_depth() {
+        assert_eq!(
+            CircularBuffer::try_new(0),
+            Err(crate::config::ConfigError::ZeroDepth)
+        );
+        assert_eq!(CircularBuffer::try_new(3).map(|b| b.depth()), Ok(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn new_panics_on_zero_depth() {
+        CircularBuffer::new(0);
     }
 
     #[test]

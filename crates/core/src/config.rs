@@ -14,6 +14,10 @@ pub enum ConfigError {
     ZeroAttempts,
     /// The per-attempt write noise was negative or non-finite.
     InvalidWriteSigma(f64),
+    /// A circular buffer was configured with zero depth.
+    ZeroDepth,
+    /// A schedule or analysis was configured with zero weighted layers.
+    ZeroLayers,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -27,6 +31,8 @@ impl core::fmt::Display for ConfigError {
             ConfigError::InvalidWriteSigma(s) => {
                 write!(f, "write sigma {s} must be finite and non-negative")
             }
+            ConfigError::ZeroDepth => write!(f, "buffer needs at least one slot"),
+            ConfigError::ZeroLayers => write!(f, "need at least one weighted layer"),
         }
     }
 }

@@ -4,6 +4,8 @@
 //! PipeLayer-without-pipeline in Figs. 15/16 uses this schedule with the
 //! same arrays and cycle time.
 
+use crate::config::ConfigError;
+
 /// Sequential (non-pipelined) schedule generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NonPipelined {
@@ -14,12 +16,28 @@ pub struct NonPipelined {
 impl NonPipelined {
     /// Creates a schedule for `L` layers and batch size `B`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroLayers`] if `l` is zero and
+    /// [`ConfigError::ZeroBatch`] if `b` is zero.
+    pub fn try_new(l: usize, b: usize) -> Result<Self, ConfigError> {
+        if l == 0 {
+            return Err(ConfigError::ZeroLayers);
+        }
+        if b == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(NonPipelined { l, b })
+    }
+
+    /// Creates a schedule for `L` layers and batch size `B`.
+    ///
     /// # Panics
     ///
-    /// Panics if either is zero.
+    /// Panics if either is zero (a degenerate configuration). Use
+    /// [`try_new`](Self::try_new) to handle the error instead.
     pub fn new(l: usize, b: usize) -> Self {
-        assert!(l > 0 && b > 0, "degenerate configuration");
-        NonPipelined { l, b }
+        Self::try_new(l, b).unwrap_or_else(|e| panic!("degenerate configuration: {e}"))
     }
 
     /// Training cycles for `n` images, counted by explicit simulation.

@@ -14,6 +14,7 @@
 //! closed-form cycle counts of [`analysis`](crate::analysis).
 
 use crate::buffers::CircularBuffer;
+use crate::config::ConfigError;
 use std::collections::BTreeMap;
 
 /// Pipeline simulator for `L` weighted layers and batch size `B`.
@@ -61,12 +62,28 @@ impl Stage {
 impl PipelineSim {
     /// Creates a simulator.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroLayers`] if `l` is zero and
+    /// [`ConfigError::ZeroBatch`] if `b` is zero.
+    pub fn try_new(l: usize, b: usize) -> Result<Self, ConfigError> {
+        if l == 0 {
+            return Err(ConfigError::ZeroLayers);
+        }
+        if b == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(PipelineSim { l, b })
+    }
+
+    /// Creates a simulator.
+    ///
     /// # Panics
     ///
-    /// Panics if `l` or `b` is zero.
+    /// Panics if `l` or `b` is zero (a degenerate pipeline). Use
+    /// [`try_new`](Self::try_new) to handle the error instead.
     pub fn new(l: usize, b: usize) -> Self {
-        assert!(l > 0 && b > 0, "degenerate pipeline");
-        PipelineSim { l, b }
+        Self::try_new(l, b).unwrap_or_else(|e| panic!("degenerate pipeline: {e}"))
     }
 
     /// Simulates training of `n_batches` full batches with the d-buffer

@@ -2,6 +2,25 @@
 
 use pipelayer_tensor::Tensor;
 
+/// A rejected [`Quantizer`] resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// The requested resolution is outside the supported `1..=24` bits.
+    UnsupportedResolution(u8),
+}
+
+impl core::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QuantError::UnsupportedResolution(bits) => {
+                write!(f, "resolution must be 1..=24 bits, got {bits}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
 /// A symmetric signed quantizer with `bits` of resolution: the representable
 /// codes are `-(2^(bits-1)-1) ..= 2^(bits-1)-1` (zero always representable;
 /// positive and negative magnitudes map to the paper's positive/negative
@@ -17,12 +36,25 @@ pub struct Quantizer {
 impl Quantizer {
     /// Creates a quantizer.
     ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedResolution`] unless
+    /// `1 <= bits <= 24`.
+    pub fn try_new(bits: u8) -> Result<Self, QuantError> {
+        if !(1..=24).contains(&bits) {
+            return Err(QuantError::UnsupportedResolution(bits));
+        }
+        Ok(Quantizer { bits })
+    }
+
+    /// Creates a quantizer.
+    ///
     /// # Panics
     ///
-    /// Panics unless `1 <= bits <= 24`.
+    /// Panics unless `1 <= bits <= 24`. Use [`try_new`](Self::try_new) to
+    /// handle the error instead.
     pub fn new(bits: u8) -> Self {
-        assert!((1..=24).contains(&bits), "resolution must be 1..=24 bits");
-        Quantizer { bits }
+        Self::try_new(bits).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Resolution in bits.
@@ -110,6 +142,25 @@ mod tests {
         assert_eq!(Quantizer::new(8).qmax(), 127);
         assert_eq!(Quantizer::new(16).qmax(), 32767);
         assert_eq!(Quantizer::new(1).qmax(), 1);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_resolutions() {
+        assert_eq!(
+            Quantizer::try_new(0),
+            Err(QuantError::UnsupportedResolution(0))
+        );
+        assert_eq!(
+            Quantizer::try_new(25),
+            Err(QuantError::UnsupportedResolution(25))
+        );
+        assert_eq!(Quantizer::try_new(16).map(|q| q.bits()), Ok(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=24 bits")]
+    fn new_panics_out_of_range() {
+        Quantizer::new(25);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod fixed;
 pub mod qat;
 pub mod qnetwork;
 
-pub use fixed::Quantizer;
+pub use fixed::{QuantError, Quantizer};
 pub use qat::{train_at_resolution, QatReport};
 pub use qnetwork::{
     accuracy_quantized_datapath, quantize_network_weights, quantize_network_weights_per_channel,
