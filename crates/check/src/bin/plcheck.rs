@@ -4,6 +4,7 @@
 //! plcheck [OPTIONS] [NETWORK ...]
 //!
 //! Networks: Mnist-A Mnist-B Mnist-C Mnist-0 AlexNet VGG-A VGG-B VGG-C VGG-D VGG-E
+//!           plus the Fig. 13 resolution-study set M-1 M-2 M-3 M-C C-4
 //!           (case-insensitive; default: all ten evaluation networks)
 //!
 //! Options:
@@ -12,6 +13,10 @@
 //!   --g G1,G2,...     per-layer replication override
 //!   --depths D1,...   per-layer buffer-depth override (paper: 2(L-l)+1)
 //!   --budget N        conv-array crossbar budget (default 65536)
+//!   --ranges          print the per-layer interval bound table (PL04x
+//!                     range analysis); with --json adds a "ranges" field
+//!   --data-bits N     datapath resolution override (default 16)
+//!   --acc-bits N      bit-line accumulator width override (default 48)
 //!   --codes           print the PL0xx diagnostic code table and exit
 //!   --quiet           suppress per-network OK lines
 //!
@@ -26,13 +31,28 @@ use pipelayer_nn::zoo;
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: plcheck [--json] [--quiet] [--codes] [--batch N] [--g G1,G2,...] \
-     [--depths D1,D2,...] [--budget N] [NETWORK ...]"
+    "usage: plcheck [--json] [--quiet] [--codes] [--ranges] [--batch N] \
+     [--data-bits N] [--acc-bits N] [--g G1,G2,...] [--depths D1,D2,...] \
+     [--budget N] [NETWORK ...]"
         .to_string()
 }
 
+/// Every spec `plcheck` can verify by name: the ten evaluation networks
+/// plus the five Fig. 13 resolution-study networks.
+fn all_specs() -> Vec<NetSpec> {
+    let mut specs = zoo::evaluation_specs();
+    specs.extend([
+        zoo::spec_m1(),
+        zoo::spec_m2(),
+        zoo::spec_m3(),
+        zoo::spec_mc(),
+        zoo::spec_c4(),
+    ]);
+    specs
+}
+
 fn find_network(name: &str) -> Option<NetSpec> {
-    zoo::evaluation_specs()
+    all_specs()
         .into_iter()
         .find(|s| s.name.eq_ignore_ascii_case(name))
 }
@@ -50,6 +70,7 @@ fn parse_csv(raw: &str, flag: &str) -> Result<Vec<usize>, String> {
 struct Cli {
     json: bool,
     quiet: bool,
+    ranges: bool,
     cfg: PipeLayerConfig,
     over: Overrides,
     nets: Vec<NetSpec>,
@@ -58,6 +79,7 @@ struct Cli {
 fn parse_args(raw: &[String]) -> Result<Option<Cli>, String> {
     let mut json = false;
     let mut quiet = false;
+    let mut ranges = false;
     let mut cfg = PipeLayerConfig::default();
     let mut over = Overrides::default();
     let mut names: Vec<String> = Vec::new();
@@ -72,6 +94,7 @@ fn parse_args(raw: &[String]) -> Result<Option<Cli>, String> {
         match a.as_str() {
             "--json" => json = true,
             "--quiet" => quiet = true,
+            "--ranges" => ranges = true,
             "--codes" => {
                 for (code, what) in diag::CODE_TABLE {
                     println!("{code}  {what}");
@@ -86,6 +109,16 @@ fn parse_args(raw: &[String]) -> Result<Option<Cli>, String> {
                 cfg.batch_size = take("batch")?
                     .parse()
                     .map_err(|_| "--batch: not a number".to_string())?;
+            }
+            "--data-bits" => {
+                cfg.params.data_bits = take("data-bits")?
+                    .parse()
+                    .map_err(|_| "--data-bits: not a number".to_string())?;
+            }
+            "--acc-bits" => {
+                cfg.datapath.accumulator_bits = take("acc-bits")?
+                    .parse()
+                    .map_err(|_| "--acc-bits: not a number".to_string())?;
             }
             "--g" => over.granularity = Some(parse_csv(take("g")?, "g")?),
             "--depths" => over.depths = Some(parse_csv(take("depths")?, "depths")?),
@@ -109,7 +142,7 @@ fn parse_args(raw: &[String]) -> Result<Option<Cli>, String> {
             nets.push(find_network(name).ok_or_else(|| {
                 format!(
                     "unknown network `{name}` (expected one of: {})",
-                    zoo::evaluation_specs()
+                    all_specs()
                         .iter()
                         .map(|s| s.name.clone())
                         .collect::<Vec<_>>()
@@ -125,10 +158,47 @@ fn parse_args(raw: &[String]) -> Result<Option<Cli>, String> {
     Ok(Some(Cli {
         json,
         quiet,
+        ranges,
         cfg,
         over,
         nets,
     }))
+}
+
+/// Renders the per-layer bound table of one range report.
+fn render_ranges(r: &pipelayer_check::absint::RangeReport) -> String {
+    let mode = if r.value_domain {
+        "value domain, quantized weights"
+    } else {
+        "geometry only"
+    };
+    let mut out = format!("{} ranges ({mode}; input {}):\n", r.network, r.input);
+    out.push_str(&format!(
+        "  {:>5}  {:<14}  {:<24}  {:<24}  {:>10}  {:>9}\n",
+        "stage", "layer", "activation", "delta", "|dW|", "acc bits"
+    ));
+    for s in &r.stages {
+        let acc = match (s.acc_bits_geometry, s.acc_bits_data) {
+            (Some(g), Some(d)) => format!("{g}/{d}"),
+            (Some(g), None) => format!("{g}/-"),
+            _ => "-".to_string(),
+        };
+        let dw = if s.dweight_mag > 0.0 {
+            format!("{:.3e}", s.dweight_mag)
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "  {:>5}  {:<14}  {:<24}  {:<24}  {:>10}  {:>9}\n",
+            s.index,
+            s.name,
+            s.activation.to_string(),
+            s.delta.to_string(),
+            dw,
+            acc
+        ));
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -148,14 +218,24 @@ fn main() -> ExitCode {
         let diags = pipelayer_check::verify_with(net, &cli.cfg, &cli.over);
         let errors = has_errors(&diags);
         any_error |= errors;
+        let ranges = cli
+            .ranges
+            .then(|| pipelayer_check::absint::analyze(net, &cli.cfg));
         if cli.json {
+            let ranges_field = ranges
+                .as_ref()
+                .map(|r| format!(",\"ranges\":{}", r.to_json()))
+                .unwrap_or_default();
             json_nets.push(format!(
-                "{{\"network\":\"{}\",\"ok\":{},\"diagnostics\":{}}}",
+                "{{\"network\":\"{}\",\"ok\":{},\"diagnostics\":{}{ranges_field}}}",
                 net.name,
                 !errors,
                 pipelayer_check::render_json(&diags)
             ));
         } else {
+            if let Some(r) = &ranges {
+                print!("{}", render_ranges(r));
+            }
             let min = if cli.quiet {
                 Severity::Error
             } else {

@@ -10,10 +10,15 @@
 //!   fails the build, and so does a stale (over-counted) entry, forcing the
 //!   allowlist to track reality downward.
 //! * **Nondeterminism hazards**: `HashMap`/`HashSet` (iteration order is
-//!   randomized — numeric paths must use `BTreeMap`/sorted `Vec`s) are
-//!   allowlisted errors; `==`/`!=` against float literals are printed as
-//!   warnings (exact-zero guards are common and legal, so they never fail
-//!   the build, but new ones should be eyeballed).
+//!   randomized — numeric paths must use `BTreeMap`/sorted `Vec`s) and the
+//!   wall-clock sources `Instant::now` / `SystemTime::now` (simulated time
+//!   must come from the cycle model, never the host clock) are allowlisted
+//!   errors; `==`/`!=` against float literals are printed as warnings
+//!   (exact-zero guards are common and legal, so they never fail the build,
+//!   but new ones should be eyeballed).
+//! * **Lossy numeric `as` casts** (`as f32`, `as u8`/`u16`/`u32`,
+//!   `as i8`/`i16`/`i32`): silently truncate or round; new sites should use
+//!   `From`/`TryFrom` or justify themselves into the allowlist.
 //!
 //! Test modules (`#[cfg(test)]`), comments and doc lines are exempt.
 //!
@@ -35,7 +40,8 @@ const ALLOWLIST: &str = "lint-allow.txt";
 /// runtime so this file does not match its own patterns.
 #[derive(Debug, Clone)]
 struct Pattern {
-    /// Allowlist key (`unwrap`, `expect`, `panic`, `assert`, `hashmap`).
+    /// Allowlist key (`unwrap`, `expect`, `panic`, `assert`, `hashmap`,
+    /// `cast`, `wallclock`).
     name: &'static str,
     /// Exact substring to search for.
     needle: String,
@@ -73,6 +79,51 @@ fn patterns() -> Vec<Pattern> {
         Pattern {
             name: "hashmap",
             needle: ["Hash", "Set"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "wallclock",
+            needle: ["Inst", "ant::now("].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "wallclock",
+            needle: ["System", "Time::now("].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "cast",
+            needle: ["as", " f32"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "cast",
+            needle: ["as", " u8"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "cast",
+            needle: ["as", " u16"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "cast",
+            needle: ["as", " u32"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "cast",
+            needle: ["as", " i8"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "cast",
+            needle: ["as", " i16"].concat(),
+            word_start: true,
+        },
+        Pattern {
+            name: "cast",
+            needle: ["as", " i32"].concat(),
             word_start: true,
         },
     ]
@@ -346,7 +397,7 @@ fn run() -> Result<bool, String> {
         );
         out.push_str("# Format: <path> <pattern> <count>. Counts may only SHRINK: a new site\n");
         out.push_str("# fails the lint, and so does an over-counted (stale) entry.\n");
-        out.push_str("# Baseline at introduction (PR 3): ");
+        out.push_str("# Baseline at last regeneration: ");
         let summary: Vec<String> = totals.iter().map(|(k, v)| format!("{k}={v}")).collect();
         out.push_str(&summary.join(" "));
         out.push('\n');
@@ -461,6 +512,31 @@ fn lib2() { x.expect(\"invariant\"); }
         let needle = ["use std::collections::Hash", "Map;\n"].concat();
         let report = scan_file(&needle, &pats);
         assert_eq!(report.counts.get("hashmap"), Some(&1));
+    }
+
+    #[test]
+    fn lossy_casts_are_flagged_lossless_conversions_are_not() {
+        let pats = patterns();
+        let text = "\
+fn f(x: f64) -> f32 { x as f32 }
+fn g(n: usize) -> u8 { n as u8 }
+fn h(n: u16) -> u64 { u64::from(n) }
+fn k(n: u32) -> usize { n as usize }
+";
+        let report = scan_file(text, &pats);
+        assert_eq!(report.counts.get("cast"), Some(&2));
+    }
+
+    #[test]
+    fn wall_clock_sources_are_flagged() {
+        let pats = patterns();
+        let text = "\
+let t0 = std::time::Instant::now();
+let wall = SystemTime::now();
+let cycles = clock.now(); // a simulated clock is fine
+";
+        let report = scan_file(text, &pats);
+        assert_eq!(report.counts.get("wallclock"), Some(&2));
     }
 
     #[test]

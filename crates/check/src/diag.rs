@@ -3,8 +3,10 @@
 //!
 //! Codes are grouped by decade: `PL00x` shape inference, `PL01x` pipeline
 //! schedule, `PL02x` crossbar mapping, `PL03x` quantization/spike coding,
-//! `PL04x` accelerator configuration. The full table lives in
-//! [`CODE_TABLE`] and is rendered by `plcheck --codes` and DESIGN.md §6.3.
+//! `PL04x` value-range analysis (interval abstract interpretation of the
+//! quantized datapath), `PL05x` accelerator configuration. The full table
+//! lives in [`CODE_TABLE`] and is rendered by `plcheck --codes` and
+//! DESIGN.md §6.3/§6.4.
 
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -197,8 +199,20 @@ pub const QUANT_SPIKE_OVERFLOW: &str = "PL031";
 /// Quant: resolution outside the functional quantizer's range.
 pub const QUANT_UNSUPPORTED_RESOLUTION: &str = "PL032";
 
+/// Range: a forward activation bound exceeds the datapath's representable
+/// activation range.
+pub const RANGE_ACTIVATION_OVERFLOW: &str = "PL040";
+/// Range: a backward error / weight-gradient bound exceeds the datapath's
+/// representable gradient range.
+pub const RANGE_GRADIENT_OVERFLOW: &str = "PL041";
+/// Range: the bit-line accumulator is too narrow for a layer's worst-case
+/// dot product.
+pub const RANGE_ACC_TOO_NARROW: &str = "PL042";
+/// Range: some output unit saturates on *every* input in the domain.
+pub const RANGE_GUARANTEED_SATURATION: &str = "PL043";
+
 /// Config: the accelerator configuration itself is invalid.
-pub const CONFIG_INVALID: &str = "PL040";
+pub const CONFIG_INVALID: &str = "PL050";
 
 /// Every code with its one-line description, in code order — the table
 /// behind `plcheck --codes` and DESIGN.md §6.3.
@@ -262,6 +276,22 @@ pub const CODE_TABLE: &[(&str, &str)] = &[
     (
         QUANT_UNSUPPORTED_RESOLUTION,
         "resolution outside the functional quantizer's 1..=24-bit range",
+    ),
+    (
+        RANGE_ACTIVATION_OVERFLOW,
+        "worst-case activation bound exceeds the datapath's activation range",
+    ),
+    (
+        RANGE_GRADIENT_OVERFLOW,
+        "worst-case error/weight-gradient bound exceeds the gradient range",
+    ),
+    (
+        RANGE_ACC_TOO_NARROW,
+        "bit-line accumulator too narrow for a layer's worst-case dot product",
+    ),
+    (
+        RANGE_GUARANTEED_SATURATION,
+        "an output unit saturates on every input in the domain",
     ),
     (CONFIG_INVALID, "accelerator configuration is invalid"),
 ];

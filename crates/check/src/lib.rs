@@ -13,7 +13,11 @@
 //! * [`verify_with`] — the same with explicit granularity / buffer-depth /
 //!   budget overrides (how the `plcheck` binary exposes what-if runs);
 //! * [`shape`], [`schedule`], [`mapcheck`], [`quantcheck`] — the individual
-//!   passes, usable on their own.
+//!   passes, usable on their own;
+//! * [`absint`] — interval abstract interpretation of the quantized
+//!   datapath: per-layer activation/gradient bounds over the actual
+//!   quantized weight grids, checked against the datapath's value formats
+//!   (PL04x; `plcheck --ranges`).
 //!
 //! The companion `src-lint` binary is the repo-wide determinism/panic lint
 //! gate; it shares nothing with the workload verifier except the crate.
@@ -26,6 +30,7 @@
 //! assert!(!pipelayer_check::has_errors(&diags));
 //! ```
 
+pub mod absint;
 pub mod diag;
 pub mod mapcheck;
 pub mod quantcheck;
@@ -73,6 +78,7 @@ pub fn verify(net: &NetSpec, cfg: &PipeLayerConfig) -> Vec<Diagnostic> {
 pub fn verify_with(net: &NetSpec, cfg: &PipeLayerConfig, over: &Overrides) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
+    let cfg_ok = cfg.validate().is_ok();
     if let Err(e) = cfg.validate() {
         diags.push(Diagnostic::error(
             diag::CONFIG_INVALID,
@@ -107,6 +113,16 @@ pub fn verify_with(net: &NetSpec, cfg: &PipeLayerConfig, over: &Overrides) -> Ve
         for mut d in mapcheck::check(&shapes.layers, &g, cfg, budget) {
             d.location = format!("{}: {}", net.name, d.location);
             diags.push(d);
+        }
+
+        // Range analysis needs a valid value-format configuration to check
+        // bounds against; with PL050 already reported there is nothing
+        // meaningful to compare to.
+        if cfg_ok {
+            for mut d in absint::analyze(net, cfg).diags {
+                d.location = format!("{}: {}", net.name, d.location);
+                diags.push(d);
+            }
         }
     }
 

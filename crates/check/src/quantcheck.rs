@@ -1,11 +1,14 @@
 //! Quantization / spike-coding sanity: the device's bit-width knobs must
 //! compose — `data_bits` splits into `cell_bits` segment groups (Fig. 14),
 //! the spike driver injects one time slot per data bit (Fig. 9a, at most
-//! 32), and the functional quantizer models 1..=24-bit resolutions.
+//! 32), the functional quantizer models 1..=24-bit resolutions, and the
+//! configured accumulator must hold at least one full-scale partial
+//! product (the network-independent floor of the PL042 range check —
+//! `absint` tightens it per layer with the real matrix geometry).
 
 use crate::diag::{self, Diagnostic};
 use pipelayer::PipeLayerConfig;
-use pipelayer_quant::Quantizer;
+use pipelayer_quant::{accumulator_bits_worst_case, Quantizer};
 
 /// Maximum spike-train slots the Fig. 9(a) driver supports
 /// (`SpikeTrain::encode` in `pipelayer-reram`).
@@ -42,6 +45,25 @@ pub fn check(cfg: &PipeLayerConfig) -> Vec<Diagnostic> {
             "timing/energy models still apply, but the functional datapath \
              (quantize-dequantize, Fig. 13 studies) cannot model this resolution",
         ));
+    }
+
+    // Network-independent accumulator floor: one qmax x qmax partial
+    // product must fit, or every non-trivial dot product overflows.
+    let acc = u32::from(cfg.datapath.accumulator_bits);
+    if data > 0 && Quantizer::try_new(data).is_ok() {
+        let floor = accumulator_bits_worst_case(1, data, data);
+        if acc < floor {
+            diags.push(Diagnostic::error(
+                diag::RANGE_ACC_TOO_NARROW,
+                "config.datapath",
+                format!(
+                    "accumulator_bits = {acc} cannot hold even a single {data}-bit \u{d7} \
+                     {data}-bit product ({floor} bits)"
+                ),
+                "widen datapath.accumulator_bits to at least the single-product width; \
+                 the per-layer PL042 check then bounds the full dot products",
+            ));
+        }
     }
     diags
 }
@@ -80,6 +102,22 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.code == diag::QUANT_SPIKE_OVERFLOW && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn accumulator_below_single_product_floor_is_an_error() {
+        let mut cfg = PipeLayerConfig::default();
+        cfg.datapath.accumulator_bits = 16; // one 16x16-bit product needs 31
+        let diags = check(&cfg);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == diag::RANGE_ACC_TOO_NARROW && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+        // At the floor itself the check is quiet (the per-layer pass takes over).
+        cfg.datapath.accumulator_bits = 31;
+        assert!(check(&cfg).is_empty());
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub enum ConfigError {
     ZeroDepth,
     /// A schedule or analysis was configured with zero weighted layers.
     ZeroLayers,
+    /// A datapath range bound (activation/gradient absmax) was non-positive
+    /// or non-finite.
+    InvalidRangeBound(f64),
+    /// The bit-line accumulator was configured with zero width.
+    ZeroAccumulatorBits,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -33,11 +38,81 @@ impl core::fmt::Display for ConfigError {
             }
             ConfigError::ZeroDepth => write!(f, "buffer needs at least one slot"),
             ConfigError::ZeroLayers => write!(f, "need at least one weighted layer"),
+            ConfigError::InvalidRangeBound(b) => {
+                write!(f, "datapath range bound {b} must be positive and finite")
+            }
+            ConfigError::ZeroAccumulatorBits => {
+                write!(f, "accumulator needs at least one bit")
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Value-range format of the fixed-point datapath: the envelopes the PL04x
+/// range analysis (`pipelayer-check`) proves computed values against.
+///
+/// The paper fixes the *resolution* of the datapath (16-bit words on 4-bit
+/// cells, Fig. 14) but never states the *range* — the largest activation,
+/// gradient and dot-product magnitudes the spike-coded arithmetic must
+/// carry without saturating. ISAAC (PAPERS.md) sizes its ADC/accumulator
+/// widths from exactly this worst-case range arithmetic; the defaults here
+/// are sized the same way, from interval bounds over the executable network
+/// zoo with ≥4× headroom (see DESIGN.md §6.4):
+///
+/// * `activation_absmax = 2^20` — the worst-case forward activation bound
+///   over the MNIST-scale zoo is ≈1.5×10⁵ (C-4's final inner product), so
+///   2²⁰ ≈ 1.05×10⁶ leaves ~7× headroom while keeping a power-of-two
+///   binary point.
+/// * `gradient_absmax = 2^24` — the dominant backward quantity is the
+///   per-sample `ΔW` partial buffered per image, bounded by
+///   `P·|δ|·|x|` with `P` window positions; C-4's first conv reaches
+///   ≈1.9×10⁶, so 2²⁴ ≈ 1.68×10⁷ leaves ~9× headroom.
+/// * `accumulator_bits = 48` — the widest mapped matrix in the zoo (VGG's
+///   `ip25088-4096`, 25 089 rows) needs `⌈log₂(25089·32767²)⌉+1 = 46`
+///   signed bits for a worst-case 16-bit × 16-bit dot product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatapathFormat {
+    /// Largest representable activation magnitude (forward values).
+    pub activation_absmax: f64,
+    /// Largest representable error / per-sample weight-gradient magnitude
+    /// (backward values, the `ΔW` partials buffered per image).
+    pub gradient_absmax: f64,
+    /// Signed width (bits, including sign) of the shift-add accumulator
+    /// behind each bit line — the register that sums spike-slot partial
+    /// products over a whole array-read phase (Figs. 9/14).
+    pub accumulator_bits: u8,
+}
+
+impl Default for DatapathFormat {
+    fn default() -> Self {
+        DatapathFormat {
+            activation_absmax: (1u32 << 20) as f64,
+            gradient_absmax: (1u32 << 24) as f64,
+            accumulator_bits: 48,
+        }
+    }
+}
+
+impl DatapathFormat {
+    /// Checks the format's own domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for b in [self.activation_absmax, self.gradient_absmax] {
+            if !(b.is_finite() && b > 0.0) {
+                return Err(ConfigError::InvalidRangeBound(b));
+            }
+        }
+        if self.accumulator_bits == 0 {
+            return Err(ConfigError::ZeroAccumulatorBits);
+        }
+        Ok(())
+    }
+}
 
 /// PipeLayer configuration: device parameters, training batch size, and the
 /// (opt-in) fault-tolerance knobs.
@@ -55,6 +130,9 @@ pub struct PipeLayerConfig {
     pub verify: VerifyPolicy,
     /// Spare bit lines provisioned per mapped matrix (none by default).
     pub spares: SpareBudget,
+    /// Value-range format of the fixed-point datapath — what the PL04x
+    /// range analysis checks computed values against.
+    pub datapath: DatapathFormat,
 }
 
 impl Default for PipeLayerConfig {
@@ -65,6 +143,7 @@ impl Default for PipeLayerConfig {
             fault_model: FaultModel::ideal(),
             verify: VerifyPolicy::default(),
             spares: SpareBudget::none(),
+            datapath: DatapathFormat::default(),
         }
     }
 }
@@ -161,7 +240,7 @@ impl PipeLayerConfig {
         if self.verify.write_sigma < 0.0 || !self.verify.write_sigma.is_finite() {
             return Err(ConfigError::InvalidWriteSigma(self.verify.write_sigma));
         }
-        Ok(())
+        self.datapath.validate()
     }
 
     /// `true` once any fault-tolerance knob departs from the ideal
@@ -273,6 +352,33 @@ mod tests {
             SpareBudget::none(),
         );
         assert!(matches!(err, Err(ConfigError::InvalidWriteSigma(_))));
+    }
+
+    #[test]
+    fn datapath_format_validates_its_domain() {
+        assert!(DatapathFormat::default().validate().is_ok());
+        let bad = DatapathFormat {
+            activation_absmax: 0.0,
+            ..DatapathFormat::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::InvalidRangeBound(0.0)));
+        let bad = DatapathFormat {
+            gradient_absmax: f64::NAN,
+            ..DatapathFormat::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::InvalidRangeBound(_))
+        ));
+        let bad = DatapathFormat {
+            accumulator_bits: 0,
+            ..DatapathFormat::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroAccumulatorBits));
+        // The config-level validate sees datapath violations too.
+        let mut cfg = PipeLayerConfig::default();
+        cfg.datapath.accumulator_bits = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroAccumulatorBits));
     }
 
     #[test]

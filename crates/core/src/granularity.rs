@@ -31,22 +31,15 @@ pub const DEFAULT_CONV_XBAR_BUDGET: u64 = 65_536;
 /// models) therefore get full replication (`G = P`, one read per cycle),
 /// while the VGG models settle around `R ≈ 128–256`, reconstructing the
 /// block-patterned Table 5 defaults. FC layers have `P = 1` and `G = 1`.
-///
-/// # Panics
-///
-/// Panics if `layers` is empty.
 pub fn default_granularity(layers: &[ResolvedLayer]) -> Vec<usize> {
     granularity_with_budget(layers, DEFAULT_CONV_XBAR_BUDGET)
 }
 
 /// [`default_granularity`] with an explicit conv-array crossbar budget.
 ///
-/// # Panics
-///
-/// Panics if `layers` is empty or `budget` is zero.
+/// An empty layer list yields an empty configuration; a zero budget yields
+/// the fully sequential scheme (`G = 1` everywhere).
 pub fn granularity_with_budget(layers: &[ResolvedLayer], budget: u64) -> Vec<usize> {
-    assert!(!layers.is_empty(), "no layers to configure");
-    assert!(budget > 0, "budget must be non-zero");
     let g_for = |reads: u64| -> Vec<usize> {
         layers
             .iter()
@@ -85,12 +78,11 @@ pub fn granularity_with_budget(layers: &[ResolvedLayer], budget: u64) -> Vec<usi
 /// clamped to `[1, P_l]`. λ = 0 collapses every layer to `G = 1`;
 /// `scale_max` (λ = "max") sets `G_l = P_l`.
 ///
-/// # Panics
-///
-/// Panics if the slices have different lengths or λ is negative/NaN.
+/// A non-finite or negative λ is debug-checked; in release it degrades to
+/// the clamp (`G = 1`) rather than panicking.
 pub fn scale_lambda(g: &[usize], lambda: f64, layers: &[ResolvedLayer]) -> Vec<usize> {
-    assert_eq!(g.len(), layers.len(), "granularity/layer length mismatch");
-    assert!(
+    debug_assert_eq!(g.len(), layers.len(), "granularity/layer length mismatch");
+    debug_assert!(
         lambda >= 0.0 && lambda.is_finite(),
         "invalid lambda {lambda}"
     );
@@ -117,12 +109,9 @@ pub fn scale_max(layers: &[ResolvedLayer]) -> Vec<usize> {
 /// per-layer read counts — only shortening the current maximum can shorten
 /// the cycle.
 ///
-/// # Panics
-///
-/// Panics if `layers` is empty or `budget_xbars` is zero.
+/// An empty layer list yields an empty configuration; a zero budget leaves
+/// every layer at `G = 1` (no replication fits).
 pub fn optimize_granularity(layers: &[ResolvedLayer], budget_xbars: u64) -> Vec<usize> {
-    assert!(!layers.is_empty(), "no layers to configure");
-    assert!(budget_xbars > 0, "budget must be non-zero");
     let tiles: Vec<u64> = layers
         .iter()
         .map(|l| {

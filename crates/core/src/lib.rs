@@ -59,7 +59,7 @@ pub mod timing;
 pub mod variation;
 
 pub use api::Accelerator;
-pub use config::{ConfigError, PipeLayerConfig};
+pub use config::{ConfigError, DatapathFormat, PipeLayerConfig};
 pub use mapping::{MapError, MappedLayer, MappedNetwork};
 pub use perf::RunEstimate;
 pub use repair::{RepairController, SpareBudget};

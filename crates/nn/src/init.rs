@@ -9,7 +9,7 @@ use rand::Rng;
 /// quantization study (Fig. 13) maps these weights onto limited-resolution
 /// ReRAM cells.
 pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
-    assert!(fan_in > 0 && fan_out > 0, "fans must be non-zero");
+    debug_assert!(fan_in > 0 && fan_out > 0, "fans must be non-zero");
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     Tensor::uniform(dims, -a, a, rng)
 }
@@ -17,7 +17,7 @@ pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut i
 /// He-normal initialisation (`N(0, sqrt(2/fan_in))`), the standard choice in
 /// front of ReLU activations.
 pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
-    assert!(fan_in > 0, "fan_in must be non-zero");
+    debug_assert!(fan_in > 0, "fan_in must be non-zero");
     let std = (2.0 / fan_in as f32).sqrt();
     Tensor::randn(dims, std, rng)
 }

@@ -34,6 +34,48 @@ pub struct GradsMut<'a> {
     pub dbias: &'a mut Tensor,
 }
 
+/// Structural classification of a layer for static analysis.
+///
+/// The interval abstract interpreter in `pipelayer-check` needs to know
+/// which transfer function a layer applies — not how it is implemented.
+/// Every concrete layer reports its kind; anything the analysis has no
+/// sound transfer function for must report [`LayerKind::Opaque`], which
+/// makes the analysis refuse (soundly) rather than guess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerKind {
+    /// A weighted affine map (inner product or convolution): bounds follow
+    /// from ±Σ|w| aggregates over the parameter tensors.
+    Affine,
+    /// Element-wise `max(0, x)`.
+    Relu,
+    /// Element-wise logistic sigmoid.
+    Sigmoid,
+    /// Max pooling over `k×k` windows with stride `stride`.
+    MaxPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling over `k×k` windows with stride `stride`.
+    AvgPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Pure shape change, values untouched.
+    Flatten,
+    /// Inverted dropout with drop probability `p` (training-mode forward
+    /// scales survivors by `1/(1−p)`).
+    Dropout {
+        /// Drop probability.
+        p: f32,
+    },
+    /// No sound transfer function is known; range analysis must give up.
+    Opaque,
+}
+
 /// A differentiable network layer operating on single-image tensors.
 ///
 /// Batching is performed by the [`Network`](crate::Network) driver, matching
@@ -85,6 +127,13 @@ pub trait Layer: Send + Sync {
     /// Number of learnable scalars.
     fn param_count(&self) -> usize {
         0
+    }
+
+    /// Structural classification for static analysis. The default is
+    /// [`LayerKind::Opaque`] — the sound refusal — so a new layer type is
+    /// never silently analysed with the wrong transfer function.
+    fn kind(&self) -> LayerKind {
+        LayerKind::Opaque
     }
 
     /// Creates an independent replica of this layer for a worker thread:

@@ -1,7 +1,7 @@
 //! Convolution layer (Eq. 1 of the paper).
 
 use crate::init;
-use crate::layer::{GradsMut, Layer, ParamsMut};
+use crate::layer::{GradsMut, Layer, LayerKind, ParamsMut};
 use pipelayer_tensor::{ops, Tensor};
 use rand::Rng;
 
@@ -175,6 +175,10 @@ impl Layer for Conv2d {
 
     fn param_count(&self) -> usize {
         self.weight.numel() + self.bias.numel()
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Affine
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -6,7 +6,7 @@
 //! the identity (nothing maps to arrays), and during training it zeroes a
 //! random mask of activations and rescales the survivors by `1/(1−p)`.
 
-use crate::layer::{Layer, ParamsMut};
+use crate::layer::{Layer, LayerKind, ParamsMut};
 use pipelayer_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
@@ -81,6 +81,10 @@ impl Layer for Dropout {
     fn zero_grad(&mut self) {}
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dropout { p: self.p }
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

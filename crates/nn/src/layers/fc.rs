@@ -1,7 +1,7 @@
 //! Inner-product (fully-connected) layer, Eq. (3) of the paper.
 
 use crate::init;
-use crate::layer::{GradsMut, Layer, ParamsMut};
+use crate::layer::{GradsMut, Layer, LayerKind, ParamsMut};
 use pipelayer_tensor::{ops, Tensor};
 use rand::Rng;
 
@@ -122,6 +122,10 @@ impl Layer for Linear {
 
     fn param_count(&self) -> usize {
         self.weight.numel() + self.bias.numel()
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Affine
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -2,7 +2,7 @@
 //! paper's convention that "the values in the data cube of `l` are considered
 //! as a vector" when an inner-product layer follows (Sec. 2.1).
 
-use crate::layer::{Layer, ParamsMut};
+use crate::layer::{Layer, LayerKind, ParamsMut};
 use pipelayer_tensor::Tensor;
 
 /// Flattens any input tensor into a rank-1 vector, restoring the original
@@ -45,6 +45,10 @@ impl Layer for Flatten {
     fn zero_grad(&mut self) {}
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Flatten
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

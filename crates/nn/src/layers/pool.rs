@@ -1,6 +1,6 @@
 //! Pooling layers (Eq. 2, Fig. 10b).
 
-use crate::layer::{Layer, ParamsMut};
+use crate::layer::{Layer, LayerKind, ParamsMut};
 use pipelayer_tensor::{ops, Tensor};
 
 /// Max pooling over `k×k` windows with stride `stride`.
@@ -60,6 +60,13 @@ impl Layer for MaxPool2d {
         None
     }
 
+    fn kind(&self) -> LayerKind {
+        LayerKind::MaxPool {
+            k: self.k,
+            stride: self.stride,
+        }
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(MaxPool2d::new(self.k, self.stride))
     }
@@ -115,6 +122,13 @@ impl Layer for AvgPool2d {
     fn zero_grad(&mut self) {}
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::AvgPool {
+            k: self.k,
+            stride: self.stride,
+        }
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

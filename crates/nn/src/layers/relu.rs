@@ -1,7 +1,7 @@
 //! Rectified linear unit, the activation PipeLayer's activation component
 //! implements by LUT (Sec. 4.2.3).
 
-use crate::layer::{Layer, ParamsMut};
+use crate::layer::{Layer, LayerKind, ParamsMut};
 use pipelayer_tensor::Tensor;
 
 /// Element-wise ReLU: `max(0, x)`.
@@ -53,6 +53,10 @@ impl Layer for Relu {
 
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Relu
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -1,7 +1,7 @@
 //! Sigmoid activation — the other function the paper's activation
 //! component supports ("configurable by different LUTs", Sec. 4.2.3).
 
-use crate::layer::{Layer, ParamsMut};
+use crate::layer::{Layer, LayerKind, ParamsMut};
 use pipelayer_tensor::Tensor;
 
 /// Element-wise logistic sigmoid `σ(x) = 1/(1+e^{-x})`.
@@ -48,6 +48,10 @@ impl Layer for Sigmoid {
     fn zero_grad(&mut self) {}
     fn params_mut(&mut self) -> Option<ParamsMut<'_>> {
         None
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Sigmoid
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

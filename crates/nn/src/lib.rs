@@ -38,7 +38,7 @@ pub mod spec;
 pub mod trainer;
 pub mod zoo;
 
-pub use layer::Layer;
+pub use layer::{Layer, LayerKind};
 pub use loss::Loss;
 pub use network::Network;
 pub use optimizer::Optimizer;

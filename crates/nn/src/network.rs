@@ -94,6 +94,34 @@ impl Network {
         x
     }
 
+    /// Training-mode forward pass that additionally records each layer's
+    /// output value range, `(min, max)` per layer in layer order — the
+    /// per-layer bound hook the range-analysis soundness harness compares
+    /// against the abstract interpreter's predicted intervals.
+    pub fn forward_traced(&mut self, input: &Tensor) -> (Tensor, Vec<(f32, f32)>) {
+        let mut ranges = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+            ranges.push(value_range(&x));
+        }
+        (x, ranges)
+    }
+
+    /// Backward pass that records the value range of the error each layer
+    /// propagates to its *input*, index-aligned with the layer stack (entry
+    /// `i` is what layer `i`'s backward returned). Gradients accumulate as
+    /// in [`backward`](Self::backward).
+    pub fn backward_traced(&mut self, delta: &Tensor) -> (Tensor, Vec<(f32, f32)>) {
+        let mut ranges = vec![(0.0f32, 0.0f32); self.layers.len()];
+        let mut d = delta.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            d = layer.backward(&d);
+            ranges[i] = value_range(&d);
+        }
+        (d, ranges)
+    }
+
     /// Inference-mode forward pass (no caching, immutable).
     pub fn infer(&self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
@@ -362,6 +390,15 @@ impl Network {
     }
 }
 
+/// `(min, max)` over a tensor's elements.
+fn value_range(t: &Tensor) -> (f32, f32) {
+    t.as_slice()
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+}
+
 /// Optimizer state (velocity buffers) for every parameterised layer of a
 /// network, used with [`Network::train_batch_opt`].
 #[derive(Debug, Clone, Default)]
@@ -586,6 +623,27 @@ mod tests {
         let la = a.train_batch(&images, &labels, 0.05);
         let lb = b.train_batch_parallel(&images, &labels, 0.05, 4);
         assert_eq!(la.to_bits(), lb.to_bits(), "losses must match bitwise");
+    }
+
+    #[test]
+    fn traced_passes_match_untraced_and_record_ranges() {
+        let mut traced = xor_net(15);
+        let mut plain = xor_net(15);
+        let x = Tensor::from_vec(&[2], vec![0.3, -0.9]);
+        let (y_t, fwd) = traced.forward_traced(&x);
+        let y_p = plain.forward(&x);
+        assert!(y_t.allclose(&y_p, 0.0));
+        assert_eq!(fwd.len(), 3);
+        // ReLU output range is non-negative.
+        assert!(fwd[1].0 >= 0.0);
+        let d = Tensor::ones(&[2]);
+        let (dx_t, bwd) = traced.backward_traced(&d);
+        let dx_p = plain.backward(&d);
+        assert!(dx_t.allclose(&dx_p, 0.0));
+        assert_eq!(bwd.len(), 3);
+        for (lo, hi) in fwd.iter().chain(&bwd) {
+            assert!(lo <= hi);
+        }
     }
 
     #[test]

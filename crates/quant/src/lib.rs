@@ -10,6 +10,8 @@
 //! * [`fixed`] — symmetric fixed-point quantizers for scalars and tensors;
 //! * [`compose`] — the 4-bit segment split/shift-add recombination of
 //!   Fig. 14, with exactness proofs;
+//! * [`grid`] — exact integer-code grids plus the accumulator-width
+//!   arithmetic behind the PL04x range analysis in `pipelayer-check`;
 //! * [`qnetwork`] — whole-network weight quantization with snapshot/restore,
 //!   and the resolution sweep that regenerates Fig. 13.
 //!
@@ -26,10 +28,12 @@
 
 pub mod compose;
 pub mod fixed;
+pub mod grid;
 pub mod qat;
 pub mod qnetwork;
 
 pub use fixed::{QuantError, Quantizer};
+pub use grid::{accumulator_bits_worst_case, bits_for_magnitude, QuantizedGrid};
 pub use qat::{train_at_resolution, QatReport};
 pub use qnetwork::{
     accuracy_quantized_datapath, quantize_network_weights, quantize_network_weights_per_channel,

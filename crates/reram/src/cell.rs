@@ -40,15 +40,17 @@ pub struct ReramCell {
 impl ReramCell {
     /// A fresh cell at level 0 (high-resistance state).
     ///
-    /// # Panics
-    ///
-    /// Panics unless `1 <= bits <= 8`.
+    /// `bits` outside `1..=8` is debug-checked; in release it clamps to
+    /// that range rather than panicking.
     pub fn new(bits: u8) -> Self {
-        assert!(
+        debug_assert!(
             (1..=8).contains(&bits),
             "cell resolution must be 1..=8 bits"
         );
-        ReramCell { level: 0, bits }
+        ReramCell {
+            level: 0,
+            bits: bits.clamp(1, 8),
+        }
     }
 
     /// Cell resolution in bits.
@@ -70,15 +72,15 @@ impl ReramCell {
     /// (write spikes) the spike driver issues — modelled as the level
     /// distance, since each pulse nudges the conductance one state.
     ///
-    /// # Panics
-    ///
-    /// Panics if `level` exceeds the cell's resolution.
+    /// An over-range `level` is debug-checked; in release the write
+    /// saturates at the cell's top level.
     pub fn program(&mut self, level: u8) -> u32 {
-        assert!(
+        debug_assert!(
             level <= self.max_level(),
             "level {level} exceeds {}-bit cell",
             self.bits
         );
+        let level = level.min(self.max_level());
         let pulses = (self.level as i32 - level as i32).unsigned_abs();
         self.level = level;
         pulses
@@ -98,20 +100,20 @@ impl ReramCell {
     /// crossbar's [`FaultMap`](crate::fault::FaultMap), which intercepts
     /// the write before it reaches the cell.
     ///
-    /// # Panics
-    ///
-    /// Panics if `level` exceeds the cell's resolution.
+    /// An over-range `level` is debug-checked; in release the write
+    /// saturates at the cell's top level.
     pub fn program_verify(
         &mut self,
         level: u8,
         policy: &VerifyPolicy,
         rng: &mut impl Rng,
     ) -> CellWrite {
-        assert!(
+        debug_assert!(
             level <= self.max_level(),
             "level {level} exceeds {}-bit cell",
             self.bits
         );
+        let level = level.min(self.max_level());
         let mut pulses = 0u32;
         let mut attempts = 0u32;
         while attempts < policy.max_attempts {

@@ -17,17 +17,17 @@ pub struct SpikeTrain {
 impl SpikeTrain {
     /// Encodes `value` into `bits` LSBF slots.
     ///
-    /// # Panics
-    ///
-    /// Panics if `value` needs more than `bits` bits or `bits > 32`.
+    /// A `value` that needs more than `bits` bits (or `bits > 32`) is
+    /// debug-checked; in release the encoding keeps only the low `bits`
+    /// bits — exactly what the slot ladder can physically inject.
     pub fn encode(value: u32, bits: u8) -> Self {
-        assert!(bits <= 32, "at most 32 slots supported");
-        assert!(
-            bits == 32 || value < (1u64 << bits) as u32,
+        debug_assert!(bits <= 32, "at most 32 slots supported");
+        debug_assert!(
+            bits >= 32 || value < (1u64 << bits) as u32,
             "value {value} does not fit in {bits} bits"
         );
         SpikeTrain {
-            slots: (0..bits).map(|i| (value >> i) & 1 == 1).collect(),
+            slots: (0..bits.min(32)).map(|i| (value >> i) & 1 == 1).collect(),
         }
     }
 
@@ -79,12 +79,13 @@ pub struct SpikeDriver {
 impl SpikeDriver {
     /// A driver producing `bits`-slot trains.
     ///
-    /// # Panics
-    ///
-    /// Panics if `bits` is zero or exceeds 32.
+    /// `bits` outside `1..=32` is debug-checked; in release it clamps to
+    /// that range rather than panicking.
     pub fn new(bits: u8) -> Self {
-        assert!(bits > 0 && bits <= 32, "driver resolution must be 1..=32");
-        SpikeDriver { bits }
+        debug_assert!(bits > 0 && bits <= 32, "driver resolution must be 1..=32");
+        SpikeDriver {
+            bits: bits.clamp(1, 32),
+        }
     }
 
     /// Input resolution (time slots per value).
@@ -92,20 +93,12 @@ impl SpikeDriver {
         self.bits
     }
 
-    /// Encodes one value.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the value does not fit.
+    /// Encodes one value (see [`SpikeTrain::encode`] for range behaviour).
     pub fn encode(&self, value: u32) -> SpikeTrain {
         SpikeTrain::encode(value, self.bits)
     }
 
     /// Encodes a whole input vector (one train per word line).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any value does not fit.
     pub fn encode_vector(&self, values: &[u32]) -> Vec<SpikeTrain> {
         values.iter().map(|&v| self.encode(v)).collect()
     }
