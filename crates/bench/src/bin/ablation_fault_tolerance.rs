@@ -118,13 +118,15 @@ fn main() {
             baseline: base_acc,
             degraded: acc_on,
         };
-        let report = on.fault_report().expect("fault tolerance is on");
+        let overhead = on
+            .fault_report()
+            .map_or_else(|| "-".into(), |r| fmt_f(r.overhead(), 3));
         table.row(vec![
             format!("{rate}"),
             "on".into(),
             fmt_f(acc_on as f64, 3),
             fmt_f(d_on.drop_points() as f64, 1),
-            fmt_f(report.overhead(), 3),
+            overhead,
             on.spares_used().to_string(),
             on.masked_units().to_string(),
         ]);

@@ -13,8 +13,10 @@
 
 use pipelayer_bench::{fmt_f, Table};
 use pipelayer_nn::data::SyntheticMnist;
+use pipelayer_nn::serialize::atomic_write;
 use pipelayer_nn::trainer::{TrainConfig, Trainer};
 use pipelayer_nn::zoo;
+use std::path::Path;
 use std::time::Instant;
 
 const THREAD_ARMS: [usize; 4] = [1, 2, 4, 8];
@@ -139,7 +141,10 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_train.json", &json).expect("failed to write BENCH_train.json");
+    if let Err(e) = atomic_write(Path::new("BENCH_train.json"), json.as_bytes()) {
+        eprintln!("failed to write BENCH_train.json: {e}");
+        std::process::exit(1);
+    }
     println!("\nwrote BENCH_train.json");
 
     if !identical {

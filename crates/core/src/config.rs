@@ -1,6 +1,7 @@
 //! Accelerator configuration.
 
 use crate::repair::SpareBudget;
+use crate::scrub::ScrubPolicy;
 use pipelayer_reram::{FaultModel, ReramParams, VerifyPolicy};
 
 /// A rejected [`PipeLayerConfig`].
@@ -23,6 +24,10 @@ pub enum ConfigError {
     InvalidRangeBound(f64),
     /// The bit-line accumulator was configured with zero width.
     ZeroAccumulatorBits,
+    /// Scrubbing was enabled with a zero rows-per-pass budget.
+    ZeroScrubRows,
+    /// The scrub re-pulse fraction was outside `[0, 1]` or non-finite.
+    InvalidScrubFraction(f64),
 }
 
 impl core::fmt::Display for ConfigError {
@@ -43,6 +48,12 @@ impl core::fmt::Display for ConfigError {
             }
             ConfigError::ZeroAccumulatorBits => {
                 write!(f, "accumulator needs at least one bit")
+            }
+            ConfigError::ZeroScrubRows => {
+                write!(f, "an enabled scrub policy needs a non-zero row budget")
+            }
+            ConfigError::InvalidScrubFraction(r) => {
+                write!(f, "scrub re-pulse fraction {r} must be in [0,1]")
             }
         }
     }
@@ -133,6 +144,9 @@ pub struct PipeLayerConfig {
     /// Value-range format of the fixed-point datapath — what the PL04x
     /// range analysis checks computed values against.
     pub datapath: DatapathFormat,
+    /// Online scrub/refresh scheduling against device aging (off by
+    /// default — all scrub cost terms are then exact no-ops).
+    pub scrub: ScrubPolicy,
 }
 
 impl Default for PipeLayerConfig {
@@ -144,6 +158,7 @@ impl Default for PipeLayerConfig {
             verify: VerifyPolicy::default(),
             spares: SpareBudget::none(),
             datapath: DatapathFormat::default(),
+            scrub: ScrubPolicy::off(),
         }
     }
 }
@@ -240,6 +255,15 @@ impl PipeLayerConfig {
         if self.verify.write_sigma < 0.0 || !self.verify.write_sigma.is_finite() {
             return Err(ConfigError::InvalidWriteSigma(self.verify.write_sigma));
         }
+        if !self.scrub.is_off() {
+            if self.scrub.rows_per_pass == 0 {
+                return Err(ConfigError::ZeroScrubRows);
+            }
+            let f = self.scrub.repulse_fraction;
+            if !(0.0..=1.0).contains(&f) || !f.is_finite() {
+                return Err(ConfigError::InvalidScrubFraction(f));
+            }
+        }
         self.datapath.validate()
     }
 
@@ -269,6 +293,12 @@ impl PipeLayerConfig {
         }
         let f = self.fault_model.total_rate();
         (1.0 - f) * self.verify.expected_attempts_healthy() + f * self.verify.max_attempts as f64
+    }
+
+    /// `true` once the scrub scheduler is turned on — the gate that keeps
+    /// baseline timing/energy/endurance numbers bit-exact with scrub off.
+    pub fn scrub_enabled(&self) -> bool {
+        !self.scrub.is_off()
     }
 }
 
@@ -379,6 +409,31 @@ mod tests {
         let mut cfg = PipeLayerConfig::default();
         cfg.datapath.accumulator_bits = 0;
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroAccumulatorBits));
+    }
+
+    #[test]
+    fn scrub_policy_validates() {
+        use crate::scrub::ScrubPolicy;
+        let mut cfg = PipeLayerConfig::default();
+        assert!(!cfg.scrub_enabled());
+        assert!(cfg.validate().is_ok());
+
+        cfg.scrub = ScrubPolicy::every(100, 0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroScrubRows));
+
+        cfg.scrub = ScrubPolicy {
+            interval_images: 100,
+            rows_per_pass: 4,
+            repulse_fraction: 1.5,
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidScrubFraction(_))
+        ));
+
+        cfg.scrub = ScrubPolicy::every(100, 4);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.scrub_enabled());
     }
 
     #[test]

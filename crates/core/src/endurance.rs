@@ -44,6 +44,9 @@ pub struct Lifetime {
     /// Programming pulses each weight cell receives per update (≈1; the
     /// averaged SGD step moves a cell at most a level or two).
     pub pulses_per_update: f64,
+    /// Extra pulses the scrub scheduler lands on the worst-worn weight
+    /// cell per processed image (0.0 with scrubbing off).
+    pub scrub_pulses_per_image: f64,
     /// Seconds until the weight cells reach the endurance budget.
     pub seconds: f64,
 }
@@ -81,10 +84,32 @@ pub fn training_lifetime(net: &MappedNetwork, model: &EnduranceModel) -> Lifetim
     let est = PerfModel::new(net).training(n, true);
     let updates_per_second = (n / b) as f64 / est.time_s;
     let pulses_per_update = net.config.write_pulse_multiplier();
+    // Scrub wear on the worst-placed cell: a layer whose matrix has
+    // `rows_l` word lines sees each of its cells re-scanned every
+    // `rows_l / rows_per_pass` passes, and the expected re-pulse fraction
+    // of scans lands a pulse. The narrowest matrix wears fastest.
+    let scrub_pulses_per_image = if net.config.scrub_enabled() {
+        let s = &net.config.scrub;
+        net.layers
+            .iter()
+            .map(|l| {
+                let rows = l.resolved.matrix_rows.max(1) as f64;
+                let scanned = rows.min(s.rows_per_pass as f64);
+                s.repulse_fraction * scanned / rows * s.passes_per_image()
+            })
+            .fold(0.0, f64::max)
+    } else {
+        0.0
+    };
+    let images_per_second = n as f64 / est.time_s;
+    // `+ 0.0` with scrub off: baseline lifetimes stay bit-identical.
+    let wear_per_second =
+        updates_per_second * pulses_per_update + images_per_second * scrub_pulses_per_image;
     Lifetime {
         updates_per_second,
         pulses_per_update,
-        seconds: model.write_cycles / (updates_per_second * pulses_per_update),
+        scrub_pulses_per_image,
+        seconds: model.write_cycles / wear_per_second,
     }
 }
 
@@ -162,10 +187,33 @@ mod tests {
     }
 
     #[test]
+    fn scrub_repulses_shorten_lifetime() {
+        use crate::scrub::ScrubPolicy;
+        let spec = zoo::spec_mnist_a();
+        let base = mapped(&spec);
+        let cfg = PipeLayerConfig {
+            scrub: ScrubPolicy::every(10, 64),
+            ..Default::default()
+        };
+        let scrubbed = MappedNetwork::from_spec(&spec, cfg);
+        let model = EnduranceModel::research_grade();
+        let l_base = training_lifetime(&base, &model);
+        let l_scrub = training_lifetime(&scrubbed, &model);
+        assert_eq!(l_base.scrub_pulses_per_image, 0.0);
+        assert!(l_scrub.scrub_pulses_per_image > 0.0);
+        // Scrubbing also throttles throughput, so *wall-clock* lifetime can
+        // go either way; the invariant is that the device trains through
+        // fewer images before wearing out (higher wear per image).
+        let images = |l: &Lifetime| l.seconds * l.updates_per_second * 64.0;
+        assert!(images(&l_scrub) < images(&l_base));
+    }
+
+    #[test]
     fn unit_conversions() {
         let l = Lifetime {
             updates_per_second: 1.0,
             pulses_per_update: 1.0,
+            scrub_pulses_per_image: 0.0,
             seconds: 86_400.0 * 365.25,
         };
         assert!((l.days() - 365.25).abs() < 1e-9);

@@ -20,12 +20,15 @@ pub struct EnergyBreakdown {
     pub data_writes_j: f64,
     /// Weight reprogramming (amortised per image).
     pub weight_updates_j: f64,
+    /// Scrub scheduler: verify reads over scanned cells plus re-pulses
+    /// (amortised per image; exactly 0.0 with scrubbing off).
+    pub scrub_j: f64,
 }
 
 impl EnergyBreakdown {
     /// Total per-image energy.
     pub fn total_j(&self) -> f64 {
-        self.reads_j + self.data_writes_j + self.weight_updates_j
+        self.reads_j + self.data_writes_j + self.weight_updates_j + self.scrub_j
     }
 }
 
@@ -138,6 +141,47 @@ impl<'a> EnergyModel<'a> {
         .round() as u64
     }
 
+    /// Cells one scrub pass reads back across all mapped matrices:
+    /// `min(rows_per_pass, rows_l) · cols_l · cells_per_word` per layer
+    /// (every cell on a scanned word line is probed once). Zero when
+    /// scrubbing is off.
+    pub fn scrub_cells_per_pass(&self) -> u64 {
+        let cfg = &self.net.config;
+        if !cfg.scrub_enabled() {
+            return 0;
+        }
+        let cells = cfg.params.cells_per_word() as u64;
+        self.net
+            .layers
+            .iter()
+            .map(|l| {
+                let rows = l.resolved.matrix_rows as u64;
+                let scanned = rows.min(cfg.scrub.rows_per_pass as u64);
+                scanned * l.resolved.matrix_cols as u64 * cells
+            })
+            .sum()
+    }
+
+    /// Verify-read spikes the scrub scheduler spends per processed image
+    /// (a pass every `interval_images`, one probe read per scanned cell).
+    pub fn scrub_read_spikes_per_image(&self) -> f64 {
+        self.scrub_cells_per_pass() as f64 * self.net.config.scrub.passes_per_image()
+    }
+
+    /// Re-programming pulses the scrub scheduler spends per processed
+    /// image: the expected re-pulse fraction of the scanned cells.
+    pub fn scrub_write_spikes_per_image(&self) -> f64 {
+        self.scrub_read_spikes_per_image() * self.net.config.scrub.repulse_fraction
+    }
+
+    /// Scrub energy per processed image, joules. Exactly 0.0 when off,
+    /// so baseline totals are bit-identical with scrubbing disabled.
+    pub fn scrub_j_per_image(&self) -> f64 {
+        let p = &self.net.config.params;
+        self.scrub_read_spikes_per_image() * p.read_energy_pj * 1e-12
+            + self.scrub_write_spikes_per_image() * p.write_energy_pj * 1e-12
+    }
+
     /// Total testing energy for `n` images, joules.
     ///
     /// # Panics
@@ -172,6 +216,7 @@ impl<'a> EnergyModel<'a> {
             reads_j: reads,
             data_writes_j: writes,
             weight_updates_j: update,
+            scrub_j: self.scrub_j_per_image(),
         }
     }
 
@@ -192,7 +237,8 @@ impl<'a> EnergyModel<'a> {
         e.add_read_spikes((n / b) * self.update_verify_read_spikes_per_batch());
         e.add_word_writes(n * self.training_write_words_per_image(), p);
         e.add_write_spikes((n / b) * self.verified_update_write_spikes_per_batch());
-        e.energy_joules(p)
+        // `+ 0.0` with scrub off: the baseline total stays bit-identical.
+        e.energy_joules(p) + n as f64 * self.scrub_j_per_image()
     }
 }
 
@@ -278,6 +324,34 @@ mod tests {
     fn training_rejects_partial_batch() {
         let net = model_for(&zoo::spec_mnist_a());
         EnergyModel::new(&net).training_energy_j(63);
+    }
+
+    #[test]
+    fn scrub_energy_noop_when_off_and_reconciles_when_on() {
+        use crate::scrub::ScrubPolicy;
+        let spec = zoo::spec_mnist_0();
+        let base = model_for(&spec);
+        let e_base = EnergyModel::new(&base);
+        assert_eq!(e_base.scrub_cells_per_pass(), 0);
+        assert_eq!(e_base.scrub_j_per_image(), 0.0);
+        assert_eq!(e_base.training_breakdown_j_per_image().scrub_j, 0.0);
+
+        let cfg = PipeLayerConfig {
+            scrub: ScrubPolicy::every(50, 16),
+            ..Default::default()
+        };
+        let scrubbed = MappedNetwork::from_spec(&spec, cfg);
+        let e = EnergyModel::new(&scrubbed);
+        assert!(e.scrub_cells_per_pass() > 0);
+        assert!(e.scrub_read_spikes_per_image() > 0.0);
+        assert!(e.scrub_write_spikes_per_image() > 0.0);
+        assert!(e.training_energy_j(64) > e_base.training_energy_j(64));
+
+        // Breakdown still reconciles with the total under scrubbing.
+        let bd = e.training_breakdown_j_per_image();
+        assert!(bd.scrub_j > 0.0);
+        let total = e.training_energy_j(64) / 64.0;
+        assert!((bd.total_j() - total).abs() < 1e-6 * total);
     }
 
     #[test]

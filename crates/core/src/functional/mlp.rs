@@ -16,8 +16,11 @@
 //! shipped examples stick to MLPs.
 
 use crate::repair::{RepairController, SpareBudget};
+use crate::scrub::ScrubPolicy;
 use pipelayer_nn::loss::Loss;
-use pipelayer_reram::{FaultModel, ProgramReport, ReramMatrix, ReramParams, VerifyPolicy};
+use pipelayer_reram::{
+    DriftModel, FaultModel, ProgramReport, ReramMatrix, ReramParams, VerifyPolicy,
+};
 use pipelayer_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +35,25 @@ struct FaultState {
     report: ProgramReport,
 }
 
+/// Runtime-resilience state: the drift clock and the scrub scheduler.
+#[derive(Debug, Clone)]
+struct ResilienceState {
+    scrub: ScrubPolicy,
+    /// Verify policy the scrub re-pulses run under.
+    verify: VerifyPolicy,
+    /// Write-noise sampling for scrub re-pulses.
+    rng: StdRng,
+    /// Merged cost of every scrub pass so far.
+    report: ProgramReport,
+    /// Images processed since the last due scrub pass.
+    images_since_scrub: u64,
+    /// Round-robin word-line cursors, `(forward, backward)` per layer.
+    cursors: Vec<(usize, usize)>,
+    /// Scrub passes completed.
+    passes: u64,
+}
+
+#[derive(Clone)]
 struct ReramMlpLayer {
     n_in: usize,
     n_out: usize,
@@ -151,12 +173,16 @@ fn transpose_no_bias(w: &[f32], n_out: usize, n_in: usize) -> Vec<f32> {
 /// let out = mlp.forward(&[0.1, -0.2, 0.3, 0.4]);
 /// assert_eq!(out.len(), 2);
 /// ```
+#[derive(Clone)]
 pub struct ReramMlp {
     layers: Vec<ReramMlpLayer>,
     loss: Loss,
     /// `Some` when fault tolerance is on: writes verify-and-retry, and
     /// unrecoverable columns are repaired or masked.
     fault_tolerance: Option<FaultState>,
+    /// `Some` when runtime resilience is on: the arrays age (drift +
+    /// read disturb) and the scrub scheduler periodically refreshes them.
+    resilience: Option<ResilienceState>,
 }
 
 impl ReramMlp {
@@ -182,6 +208,7 @@ impl ReramMlp {
             layers,
             loss: Loss::SoftmaxCrossEntropy,
             fault_tolerance: None,
+            resilience: None,
         }
     }
 
@@ -229,6 +256,7 @@ impl ReramMlp {
             layers,
             loss: Loss::SoftmaxCrossEntropy,
             fault_tolerance: None,
+            resilience: None,
         }
     }
 
@@ -273,7 +301,47 @@ impl ReramMlp {
             layers,
             loss: Loss::SoftmaxCrossEntropy,
             fault_tolerance: Some(ft),
+            resilience: None,
         }
+    }
+
+    /// Builds an MLP whose arrays age in place: every cell follows the
+    /// seeded conductance-drift/read-disturb model `drift` (advanced one
+    /// logical cycle per processed image), and the online scrub scheduler
+    /// `scrub` periodically re-programs degraded word lines through the
+    /// program-and-verify loop of `verify`. With [`ScrubPolicy::off`] the
+    /// arrays age unchecked — the "scrub off" arm of the ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid widths (see [`new`](Self::new)).
+    pub fn with_resilience(
+        dims: &[usize],
+        params: &ReramParams,
+        seed: u64,
+        drift: DriftModel,
+        scrub: ScrubPolicy,
+        verify: VerifyPolicy,
+    ) -> Self {
+        let mut mlp = Self::new(dims, params, seed);
+        for (i, layer) in mlp.layers.iter_mut().enumerate() {
+            let salt = seed.wrapping_add(1 + 1000 * i as u64);
+            layer.forward.attach_drift(drift, salt);
+            layer
+                .backward
+                .attach_drift(drift, salt ^ 0x9e37_79b9_7f4a_7c15);
+        }
+        let cursors = vec![(0usize, 0usize); mlp.layers.len()];
+        mlp.resilience = Some(ResilienceState {
+            scrub,
+            verify,
+            rng: StdRng::seed_from_u64(seed ^ 0x5c2b_bed5),
+            report: ProgramReport::default(),
+            images_since_scrub: 0,
+            cursors,
+            passes: 0,
+        });
+        mlp
     }
 
     /// Number of weighted layers.
@@ -402,7 +470,106 @@ impl ReramMlp {
             }
             layer.grad_acc.fill(0.0);
         }
+        // One processed image = one logical pipeline cycle: tick the
+        // degradation clock and run any scrub passes that came due.
+        self.advance_cycles(images.len() as u64);
         total / images.len() as f32
+    }
+
+    /// Advances the degradation clock by `cycles` logical cycles (one per
+    /// processed image) and runs any scrub passes the policy schedules in
+    /// that window. No-op when resilience is off.
+    pub fn advance_cycles(&mut self, cycles: u64) {
+        if self.resilience.is_none() {
+            return;
+        }
+        for layer in &mut self.layers {
+            layer.forward.advance_cycles(cycles);
+            layer.backward.advance_cycles(cycles);
+        }
+        let mut due = 0;
+        if let Some(rs) = self.resilience.as_mut() {
+            if !rs.scrub.is_off() {
+                rs.images_since_scrub += cycles;
+                due = rs.images_since_scrub / rs.scrub.interval_images;
+                rs.images_since_scrub %= rs.scrub.interval_images;
+            }
+        }
+        for _ in 0..due {
+            self.scrub_pass();
+        }
+    }
+
+    /// Runs one budgeted scrub pass: every array walks the next
+    /// `rows_per_pass` word lines from its round-robin cursor, materialises
+    /// each cell's drifted level and re-programs it through the verify
+    /// loop. No-op when resilience is off.
+    pub fn scrub_pass(&mut self) {
+        let Some(rs) = self.resilience.as_mut() else {
+            return;
+        };
+        for (layer, cur) in self.layers.iter_mut().zip(rs.cursors.iter_mut()) {
+            let budget = rs.scrub.rows_per_pass;
+            let r = layer
+                .forward
+                .scrub_rows(cur.0, budget, &rs.verify, &mut rs.rng);
+            rs.report.merge(r);
+            cur.0 = (cur.0 + budget) % layer.forward.in_dim();
+            let r = layer
+                .backward
+                .scrub_rows(cur.1, budget, &rs.verify, &mut rs.rng);
+            rs.report.merge(r);
+            cur.1 = (cur.1 + budget) % layer.backward.in_dim();
+        }
+        rs.passes += 1;
+    }
+
+    /// Scrubs every word line of every array in one sweep (maintenance
+    /// window / campaign use; the online scheduler uses budgeted passes).
+    /// No-op when resilience is off.
+    pub fn scrub_all(&mut self) {
+        let Some(rs) = self.resilience.as_mut() else {
+            return;
+        };
+        for layer in &mut self.layers {
+            let rows = layer.forward.in_dim();
+            let r = layer.forward.scrub_rows(0, rows, &rs.verify, &mut rs.rng);
+            rs.report.merge(r);
+            let rows = layer.backward.in_dim();
+            let r = layer.backward.scrub_rows(0, rows, &rs.verify, &mut rs.rng);
+            rs.report.merge(r);
+        }
+        rs.passes += 1;
+    }
+
+    /// Cells across all arrays currently reading at a level other than the
+    /// one programmed — the damage a scrub pass would repair.
+    pub fn drifted_cells(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.forward.drifted_cells() + l.backward.drifted_cells())
+            .sum()
+    }
+
+    /// Merged cost of every scrub pass so far (`None` when resilience is
+    /// off): re-pulses vs ideal, verify reads, unrecoverable cells.
+    pub fn scrub_report(&self) -> Option<&ProgramReport> {
+        self.resilience.as_ref().map(|rs| &rs.report)
+    }
+
+    /// Scrub passes completed so far (0 when resilience is off).
+    pub fn scrub_passes(&self) -> u64 {
+        self.resilience.as_ref().map_or(0, |rs| rs.passes)
+    }
+
+    /// Replaces the scrub policy (no-op when resilience is off). Lets a
+    /// campaign train one network and then deploy cloned arms under
+    /// different scrub schedules.
+    pub fn set_scrub(&mut self, scrub: ScrubPolicy) {
+        if let Some(rs) = self.resilience.as_mut() {
+            rs.scrub = scrub;
+            rs.images_since_scrub = 0;
+        }
     }
 
     /// Merged cost of every verified write so far (`None` when fault
@@ -633,5 +800,91 @@ mod tests {
     fn forward_rejects_wrong_width() {
         let mut mlp = ReramMlp::new(&[4, 2], &ReramParams::default(), 1);
         mlp.forward(&[1.0, 2.0]);
+    }
+
+    fn aggressive_drift() -> DriftModel {
+        DriftModel {
+            nu: 0.15,
+            nu_sigma: 0.05,
+            t0_cycles: 16,
+            disturb_per_level: 0,
+        }
+    }
+
+    #[test]
+    fn aging_corrupts_reads_and_scrub_all_restores_exactly() {
+        let mut mlp = ReramMlp::with_resilience(
+            &[12, 8, 4],
+            &ReramParams::default(),
+            9,
+            aggressive_drift(),
+            ScrubPolicy::off(),
+            VerifyPolicy::default(),
+        );
+        let w0 = mlp.layer_weights(0);
+        mlp.advance_cycles(200_000);
+        assert!(mlp.drifted_cells() > 0, "aging must corrupt some cell");
+        assert_eq!(mlp.scrub_passes(), 0, "policy off: scheduler stays idle");
+        mlp.scrub_all();
+        assert_eq!(mlp.drifted_cells(), 0);
+        assert_eq!(mlp.layer_weights(0), w0, "scrub restores reads bitwise");
+        let report = mlp.scrub_report().expect("resilience is on");
+        assert!(report.pulses > 0, "restoring drifted cells takes pulses");
+    }
+
+    #[test]
+    fn resilient_mlp_matches_plain_mlp_before_aging() {
+        // Same seed, no elapsed cycles: the resilient build reads exactly
+        // like the plain one (drift attach is a pure bookkeeping change).
+        let plain = ReramMlp::new(&[10, 6, 3], &ReramParams::default(), 4);
+        let res = ReramMlp::with_resilience(
+            &[10, 6, 3],
+            &ReramParams::default(),
+            4,
+            aggressive_drift(),
+            ScrubPolicy::every(100, 4),
+            VerifyPolicy::default(),
+        );
+        for li in 0..plain.depth() {
+            assert_eq!(plain.layer_weights(li), res.layer_weights(li));
+        }
+    }
+
+    #[test]
+    fn scrub_scheduler_fires_on_the_image_interval() {
+        let (tr, trl, _, _) = small_task();
+        let mut mlp = ReramMlp::with_resilience(
+            &[49, 8, 10],
+            &ReramParams::default(),
+            6,
+            aggressive_drift(),
+            ScrubPolicy::every(10, 4),
+            VerifyPolicy::default(),
+        );
+        // 3 batches of 10 images at interval 10 → exactly 3 passes.
+        for chunk in 0..3 {
+            let lo = chunk * 10;
+            mlp.train_batch(&tr[lo..lo + 10], &trl[lo..lo + 10], 0.2);
+        }
+        assert_eq!(mlp.scrub_passes(), 3);
+        let report = mlp.scrub_report().expect("resilience is on");
+        assert!(report.verify_reads > 0, "each pass reads scanned rows");
+    }
+
+    #[test]
+    fn cloned_arms_age_independently() {
+        // The campaign pattern: train once, clone into arms, age each.
+        let base = ReramMlp::with_resilience(
+            &[8, 5, 3],
+            &ReramParams::default(),
+            2,
+            aggressive_drift(),
+            ScrubPolicy::off(),
+            VerifyPolicy::default(),
+        );
+        let mut aged = base.clone();
+        aged.advance_cycles(200_000);
+        assert_eq!(base.drifted_cells(), 0);
+        assert!(aged.drifted_cells() > 0);
     }
 }

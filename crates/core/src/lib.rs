@@ -55,6 +55,7 @@ pub mod perf;
 pub mod pipeline;
 pub mod repair;
 pub mod report;
+pub mod scrub;
 pub mod timing;
 pub mod variation;
 
@@ -64,3 +65,4 @@ pub use mapping::{MapError, MappedLayer, MappedNetwork};
 pub use perf::RunEstimate;
 pub use repair::{RepairController, SpareBudget};
 pub use report::ConfigurationReport;
+pub use scrub::{DriftReport, DriftSample, ScrubPolicy};

@@ -66,9 +66,12 @@ impl<'a> PerfModel<'a> {
             NonPipelined::new(self.net.weighted_layers(), self.net.config.batch_size)
                 .training_cycles(n)
         };
-        // One cycle per batch is the (differently-timed) update cycle.
+        // One cycle per batch is the (differently-timed) update cycle;
+        // scrub passes add their amortised per-image time (`+ 0.0` off).
         let compute_cycles = cycles - batches;
-        let time_s = (compute_cycles as f64 * cycle_ns + batches as f64 * update_ns) * 1e-9;
+        let scrub_ns = n as f64 * timing.scrub_ns_per_image();
+        let time_s =
+            (compute_cycles as f64 * cycle_ns + batches as f64 * update_ns + scrub_ns) * 1e-9;
         RunEstimate {
             cycles,
             cycle_ns,

@@ -111,6 +111,22 @@ impl<'a> TimingModel<'a> {
         let verify_reads = cfg.verify_reads_per_cell_write() * p.read_phase_ns();
         2.0 * reprogram * cfg.write_pulse_multiplier() + p.read_phase_ns() + verify_reads
     }
+
+    /// Amortised scrub time per processed image, ns: every
+    /// `interval_images` images a pass walks `rows_per_pass` word lines
+    /// row-serially (all mapped arrays scrub in parallel, like the update
+    /// cycle's reprogramming), each row costing one verify-read phase plus
+    /// the expected re-pulse fraction of a row-write. Exactly 0.0 with
+    /// scrubbing off.
+    pub fn scrub_ns_per_image(&self) -> f64 {
+        let cfg = &self.net.config;
+        if !cfg.scrub_enabled() {
+            return 0.0;
+        }
+        let p = self.params();
+        let row_ns = p.read_phase_ns() + cfg.scrub.repulse_fraction * p.write_latency_ns;
+        cfg.scrub.rows_per_image() * row_ns
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +210,28 @@ mod tests {
         assert!(u > 0.0);
         // The update must not dwarf the pipeline: it is one cycle per batch.
         assert!(u < 100.0 * t.cycle_training_ns());
+    }
+
+    #[test]
+    fn scrub_time_is_exact_noop_when_off_and_costed_when_on() {
+        use crate::scrub::ScrubPolicy;
+        let m = mapped(&zoo::spec_mnist_a());
+        assert_eq!(TimingModel::new(&m).scrub_ns_per_image(), 0.0);
+
+        let cfg = PipeLayerConfig {
+            scrub: ScrubPolicy::every(100, 8),
+            ..Default::default()
+        };
+        let scrubbed = MappedNetwork::from_spec(&zoo::spec_mnist_a(), cfg);
+        let t = TimingModel::new(&scrubbed);
+        let p = scrubbed.config.params;
+        let want = 8.0 / 100.0 * (p.read_phase_ns() + 0.05 * p.write_latency_ns);
+        assert!((t.scrub_ns_per_image() - want).abs() < 1e-12);
+        // Compute cycles are untouched — scrub steals no pipeline slots.
+        assert_eq!(
+            t.cycle_training_ns(),
+            TimingModel::new(&m).cycle_training_ns()
+        );
     }
 
     #[test]

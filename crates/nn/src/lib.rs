@@ -42,4 +42,6 @@ pub use layer::{Layer, LayerKind};
 pub use loss::Loss;
 pub use network::Network;
 pub use optimizer::Optimizer;
+pub use serialize::{CheckpointState, TrainCursor};
 pub use spec::{LayerSpec, NetSpec};
+pub use trainer::{CheckpointError, CheckpointPolicy, FitOutcome};

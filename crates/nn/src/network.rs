@@ -419,6 +419,31 @@ impl OptStates {
             slots: (0..n).map(|_| Default::default()).collect(),
         }
     }
+
+    /// Exports every velocity buffer, two entries (weight, bias) per
+    /// parameterised layer, in layer order — the PLW2 `OPTS` payload.
+    pub fn export_velocities(&self) -> Vec<Option<pipelayer_tensor::Tensor>> {
+        self.slots
+            .iter()
+            .flat_map(|(w, b)| [w.velocity().cloned(), b.velocity().cloned()])
+            .collect()
+    }
+
+    /// Restores velocity buffers exported by
+    /// [`export_velocities`](Self::export_velocities). Returns `false`
+    /// (leaving the state untouched) when the entry count does not match
+    /// this network's layer structure.
+    pub fn import_velocities(&mut self, vel: Vec<Option<pipelayer_tensor::Tensor>>) -> bool {
+        if vel.len() != self.slots.len() * 2 {
+            return false;
+        }
+        let mut it = vel.into_iter();
+        for (w, b) in &mut self.slots {
+            w.set_velocity(it.next().flatten());
+            b.set_velocity(it.next().flatten());
+        }
+        true
+    }
 }
 
 impl std::fmt::Debug for Network {

@@ -80,6 +80,16 @@ impl ParamState {
         ParamState::default()
     }
 
+    /// The velocity buffer, if any update has materialised it.
+    pub fn velocity(&self) -> Option<&Tensor> {
+        self.velocity.as_ref()
+    }
+
+    /// Replaces the velocity buffer (checkpoint restore).
+    pub fn set_velocity(&mut self, v: Option<Tensor>) {
+        self.velocity = v;
+    }
+
     /// Computes and applies the update for one parameter tensor given its
     /// accumulated gradient and the batch size; mutates the parameter in
     /// place. `decay` is applied only when the caller says so (weights yes,

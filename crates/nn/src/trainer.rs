@@ -5,9 +5,19 @@
 use crate::data::SyntheticMnist;
 use crate::network::{Network, OptStates};
 use crate::optimizer::Optimizer;
+use crate::serialize::{
+    atomic_write, load_checkpoint, save_checkpoint, CheckpointState, DecodeError, TrainCursor,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Seed of the epoch-shuffle RNG stream (one stream for the whole run;
+/// epoch `e`'s order is the state after `e + 1` Fisher–Yates passes, so a
+/// resumed run replays the identical schedule).
+const SHUFFLE_SEED: u64 = 0xD1CE;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +65,82 @@ impl TrainConfig {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+}
+
+/// When and where [`Trainer::fit_resumable`] persists its state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file (written atomically: temp + fsync + rename).
+    pub path: PathBuf,
+    /// Take a checkpoint every this many processed images (rounded up to
+    /// the enclosing batch boundary).
+    pub every_images: u64,
+    /// Test/ops hook simulating a crash: after this many images are
+    /// processed *by this call*, checkpoint and return
+    /// [`FitOutcome::Interrupted`]. `None` trains to completion.
+    pub stop_after_images: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints to `path` every `every_images` images, no kill point.
+    /// A zero interval is rejected with [`CheckpointError::Config`] by the
+    /// training call that uses the policy.
+    pub fn every(path: impl Into<PathBuf>, every_images: u64) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every_images,
+            stop_after_images: None,
+        }
+    }
+}
+
+/// What a resumable training call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitOutcome {
+    /// Training ran to the configured epoch count.
+    Completed(TrainReport),
+    /// The `stop_after_images` kill point fired after checkpointing; call
+    /// [`Trainer::resume_from`] to continue.
+    Interrupted {
+        /// Images processed by this call before stopping.
+        images_seen: u64,
+    },
+}
+
+/// Errors from resumable training.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The checkpoint file exists but does not decode against this network.
+    Decode(DecodeError),
+    /// The training setup itself is unusable: zero epochs or batch size,
+    /// an empty training set, or a zero checkpoint interval.
+    Config(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Decode(e) => write!(f, "checkpoint decode failed: {e}"),
+            CheckpointError::Config(m) => write!(f, "invalid resumable-training setup: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<DecodeError> for CheckpointError {
+    fn from(e: DecodeError) -> Self {
+        CheckpointError::Decode(e)
     }
 }
 
@@ -111,19 +197,129 @@ impl Trainer {
             "degenerate train config"
         );
         assert!(!data.train.is_empty(), "empty training set");
+        match self.run_from(net, data, None, CheckpointState::default()) {
+            Ok(FitOutcome::Completed(report)) => report,
+            // Without a checkpoint policy there is no I/O and no kill point,
+            // and the config was validated above.
+            _ => unreachable!("policy-free run can neither fail nor interrupt"),
+        }
+    }
+
+    /// Like [`fit`](Self::fit), but crash-safe: a PLW2 checkpoint (weights,
+    /// optimizer velocities, RNG stream, epoch/image cursor) is written
+    /// atomically every `policy.every_images` images. An uninterrupted
+    /// `fit_resumable` run is bitwise identical to `fit`; a run killed at
+    /// any checkpoint and continued with [`resume_from`](Self::resume_from)
+    /// replays to bitwise-identical final weights.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if a checkpoint cannot be written,
+    /// [`CheckpointError::Config`] on a degenerate config, empty dataset, or
+    /// zero checkpoint interval.
+    pub fn fit_resumable(
+        &self,
+        net: &mut Network,
+        data: &SyntheticMnist,
+        policy: &CheckpointPolicy,
+    ) -> Result<FitOutcome, CheckpointError> {
+        self.run_from(net, data, Some(policy), CheckpointState::default())
+    }
+
+    /// Continues a run from the checkpoint at `policy.path`: restores
+    /// weights, velocities and the training cursor, replays the shuffle
+    /// stream to the recorded position, and trains on — producing final
+    /// weights bitwise identical to a never-interrupted run at any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be read,
+    /// [`CheckpointError::Decode`] if it is corrupt or does not match
+    /// `net`'s architecture, [`CheckpointError::Config`] on a degenerate
+    /// config, empty dataset, or zero checkpoint interval.
+    pub fn resume_from(
+        &self,
+        net: &mut Network,
+        data: &SyntheticMnist,
+        policy: &CheckpointPolicy,
+    ) -> Result<FitOutcome, CheckpointError> {
+        let bytes = std::fs::read(&policy.path)?;
+        let state = load_checkpoint(net, &bytes)?;
+        self.run_from(net, data, Some(policy), state)
+    }
+
+    /// The one training loop behind both [`fit`](Self::fit) (no `policy`:
+    /// never touches the filesystem) and the resumable entry points.
+    fn run_from(
+        &self,
+        net: &mut Network,
+        data: &SyntheticMnist,
+        policy: Option<&CheckpointPolicy>,
+        start: CheckpointState,
+    ) -> Result<FitOutcome, CheckpointError> {
+        let cfg = &self.config;
+        if cfg.epochs == 0 || cfg.batch_size == 0 {
+            return Err(CheckpointError::Config("degenerate train config"));
+        }
+        if data.train.is_empty() {
+            return Err(CheckpointError::Config("empty training set"));
+        }
+        if policy.is_some_and(|p| p.every_images == 0) {
+            return Err(CheckpointError::Config(
+                "checkpoint interval must be positive",
+            ));
+        }
 
         let n = data.train.len();
         let threads = cfg.resolved_threads();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(0xD1CE);
-        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-        let mut states = self.optimizer.as_ref().map(|_| OptStates::for_network(net));
+        let mut rng = StdRng::seed_from_u64(SHUFFLE_SEED);
 
-        for _ in 0..cfg.epochs {
+        let cursor = start.cursor.unwrap_or(TrainCursor {
+            epoch: 0,
+            images_done: 0,
+            partial_loss_sum: 0.0,
+            partial_batches: 0,
+            epoch_losses: Vec::new(),
+        });
+        let start_epoch = cursor.epoch as usize;
+        let mut epoch_losses = cursor.epoch_losses;
+
+        let mut states = self.optimizer.as_ref().map(|_| OptStates::for_network(net));
+        if let (Some(states), Some(vel)) = (&mut states, start.velocities) {
+            let expected = states.export_velocities().len();
+            let found = vel.len();
+            if !states.import_velocities(vel) {
+                return Err(DecodeError::CountMismatch { found, expected }.into());
+            }
+        }
+
+        // Replay the shuffle stream up to the checkpointed epoch: each
+        // Fisher–Yates pass consumes a fixed draw count, so the stream
+        // position depends only on how many passes have run.
+        for _ in 0..start_epoch {
             order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
-            let mut batches = 0usize;
-            for chunk in order.chunks(cfg.batch_size) {
+        }
+
+        let mut images_this_call: u64 = 0;
+        let mut since_ckpt: u64 = 0;
+
+        for epoch in start_epoch..cfg.epochs {
+            order.shuffle(&mut rng);
+            let resuming = epoch == start_epoch;
+            let mut epoch_loss = if resuming {
+                cursor.partial_loss_sum
+            } else {
+                0.0
+            };
+            let mut batches = if resuming {
+                cursor.partial_batches as usize
+            } else {
+                0
+            };
+            let mut done = if resuming { cursor.images_done } else { 0 };
+            for chunk in order.chunks(cfg.batch_size).skip(batches) {
                 let images: Vec<_> = chunk
                     .iter()
                     .map(|&i| data.train.images[i].clone())
@@ -136,15 +332,78 @@ impl Trainer {
                     _ => net.train_batch_parallel(&images, &labels, cfg.lr, threads),
                 };
                 batches += 1;
+                done += chunk.len() as u64;
+                images_this_call += chunk.len() as u64;
+                since_ckpt += chunk.len() as u64;
+
+                if let Some(policy) = policy {
+                    let kill = policy
+                        .stop_after_images
+                        .is_some_and(|s| images_this_call >= s);
+                    if since_ckpt >= policy.every_images || kill {
+                        self.write_checkpoint(
+                            net,
+                            &mut states,
+                            policy,
+                            TrainCursor {
+                                epoch: u32::try_from(epoch).unwrap_or(u32::MAX),
+                                images_done: done,
+                                partial_loss_sum: epoch_loss,
+                                partial_batches: u32::try_from(batches).unwrap_or(u32::MAX),
+                                epoch_losses: epoch_losses.clone(),
+                            },
+                        )?;
+                        since_ckpt = 0;
+                        if kill {
+                            return Ok(FitOutcome::Interrupted {
+                                images_seen: images_this_call,
+                            });
+                        }
+                    }
+                }
             }
             epoch_losses.push(epoch_loss / batches as f32);
         }
 
-        TrainReport {
+        // Final checkpoint: cursor at `epochs` marks the run complete, so a
+        // spurious resume returns immediately instead of retraining.
+        if let Some(policy) = policy {
+            self.write_checkpoint(
+                net,
+                &mut states,
+                policy,
+                TrainCursor {
+                    epoch: u32::try_from(cfg.epochs).unwrap_or(u32::MAX),
+                    images_done: 0,
+                    partial_loss_sum: 0.0,
+                    partial_batches: 0,
+                    epoch_losses: epoch_losses.clone(),
+                },
+            )?;
+        }
+
+        Ok(FitOutcome::Completed(TrainReport {
             final_train_accuracy: net.accuracy(&data.train.images, &data.train.labels),
             final_test_accuracy: net.accuracy(&data.test.images, &data.test.labels),
             epoch_losses,
-        }
+        }))
+    }
+
+    fn write_checkpoint(
+        &self,
+        net: &mut Network,
+        states: &mut Option<OptStates>,
+        policy: &CheckpointPolicy,
+        cursor: TrainCursor,
+    ) -> Result<(), CheckpointError> {
+        let state = CheckpointState {
+            shuffle_seed: SHUFFLE_SEED,
+            cursor: Some(cursor),
+            velocities: states.as_ref().map(|s| s.export_velocities()),
+        };
+        let blob = save_checkpoint(net, &state);
+        atomic_write(&policy.path, &blob)?;
+        Ok(())
     }
 }
 
@@ -272,5 +531,162 @@ mod tests {
             threads: 1,
         })
         .fit(&mut net, &data);
+    }
+
+    fn weight_bits(net: &mut Network) -> Vec<u32> {
+        let mut bits = Vec::new();
+        for layer in net.layers_mut() {
+            if let Some(p) = layer.params_mut() {
+                bits.extend(p.weight.as_slice().iter().map(|v| v.to_bits()));
+                bits.extend(p.bias.as_slice().iter().map(|v| v.to_bits()));
+            }
+        }
+        bits
+    }
+
+    fn ckpt_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("plw2-{name}-{}.ckpt", std::process::id()))
+    }
+
+    fn small_config(threads: usize) -> TrainConfig {
+        TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.1,
+            threads,
+        }
+    }
+
+    /// Runs a killed-and-resumed training to completion: the first call uses
+    /// `fit_resumable` with a kill point; every continuation loads a FRESH
+    /// network (proving all state really comes from the checkpoint file) and
+    /// re-kills until the remaining work fits under the kill budget.
+    fn run_with_kills(
+        trainer: &Trainer,
+        data: &SyntheticMnist,
+        net_seed: u64,
+        mut policy: CheckpointPolicy,
+        kill_every: u64,
+    ) -> (Vec<u32>, TrainReport) {
+        policy.stop_after_images = Some(kill_every);
+        let mut net = zoo::mnist_a(net_seed);
+        let mut outcome = trainer.fit_resumable(&mut net, data, &policy).unwrap();
+        let mut hops = 0;
+        while let FitOutcome::Interrupted { images_seen } = outcome {
+            assert!(images_seen >= kill_every, "kill fired early: {images_seen}");
+            hops += 1;
+            assert!(hops < 64, "resume loop is not making progress");
+            net = zoo::mnist_a(net_seed.wrapping_add(hops)); // fresh, differently-seeded net
+            outcome = trainer.resume_from(&mut net, data, &policy).unwrap();
+        }
+        assert!(hops > 0, "kill point never fired; test exercises nothing");
+        let FitOutcome::Completed(report) = outcome else {
+            unreachable!()
+        };
+        let _ = std::fs::remove_file(&policy.path);
+        (weight_bits(&mut net), report)
+    }
+
+    /// Tentpole acceptance: an uninterrupted `fit_resumable` run is bitwise
+    /// identical to plain `fit` — same loss curve, same final weights.
+    #[test]
+    fn uninterrupted_resumable_run_matches_fit_bitwise() {
+        let data = SyntheticMnist::generate(96, 24, 31);
+        let trainer = Trainer::new(small_config(2));
+        let mut plain_net = zoo::mnist_a(31);
+        let plain = trainer.fit(&mut plain_net, &data);
+
+        let path = ckpt_path("uninterrupted");
+        let mut res_net = zoo::mnist_a(31);
+        let outcome = trainer
+            .fit_resumable(&mut res_net, &data, &CheckpointPolicy::every(&path, 32))
+            .unwrap();
+        let _ = std::fs::remove_file(&path);
+        let FitOutcome::Completed(report) = outcome else {
+            panic!("run without a kill point must complete: {outcome:?}")
+        };
+        let bits = |v: &[f32]| v.iter().map(|l| l.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(
+            bits(&plain.epoch_losses),
+            bits(&report.epoch_losses),
+            "loss curves diverged"
+        );
+        assert_eq!(
+            weight_bits(&mut plain_net),
+            weight_bits(&mut res_net),
+            "final weights diverged"
+        );
+    }
+
+    /// Tentpole acceptance: kill the run at an awkward (non-batch-aligned)
+    /// image count, resume into a FRESH network, repeat until done — the
+    /// final weights must be bitwise identical to a never-interrupted run,
+    /// at every thread count.
+    #[test]
+    fn kill_and_resume_is_bitwise_identical_at_any_thread_count() {
+        let data = SyntheticMnist::generate(96, 24, 37);
+        for threads in [1usize, 2, 8] {
+            let trainer = Trainer::new(small_config(threads));
+            let mut ref_net = zoo::mnist_a(37);
+            trainer.fit(&mut ref_net, &data);
+            let reference = weight_bits(&mut ref_net);
+
+            let path = ckpt_path(&format!("kill-{threads}t"));
+            let policy = CheckpointPolicy::every(&path, 1_000_000);
+            let (resumed, _) = run_with_kills(&trainer, &data, 37, policy, 41);
+            assert_eq!(
+                reference, resumed,
+                "{threads}-thread kill-and-resume diverged from uninterrupted run"
+            );
+        }
+    }
+
+    /// Momentum velocities live in the OPTS checkpoint section; killing and
+    /// resuming a momentum run must restore them exactly, or the very next
+    /// update diverges.
+    #[test]
+    fn kill_and_resume_restores_momentum_velocities_bitwise() {
+        let data = SyntheticMnist::generate(96, 24, 43);
+        let opt = Optimizer::with_momentum(0.05, 0.9);
+        let trainer = Trainer::new(small_config(2)).with_optimizer(opt);
+
+        let mut ref_net = zoo::mnist_a(43);
+        trainer.fit(&mut ref_net, &data);
+        let reference = weight_bits(&mut ref_net);
+
+        let path = ckpt_path("kill-momentum");
+        let policy = CheckpointPolicy::every(&path, 1_000_000);
+        let (resumed, report) = run_with_kills(&trainer, &data, 43, policy, 53);
+        assert_eq!(
+            reference, resumed,
+            "momentum kill-and-resume diverged (velocities not restored?)"
+        );
+        assert_eq!(report.epoch_losses.len(), 2);
+    }
+
+    /// A checkpoint whose cursor sits at `epochs` marks the run complete:
+    /// resuming from it must return immediately with the stored history
+    /// instead of training another pass.
+    #[test]
+    fn resume_on_completed_checkpoint_returns_without_retraining() {
+        let data = SyntheticMnist::generate(64, 16, 47);
+        let trainer = Trainer::new(small_config(1));
+        let path = ckpt_path("completed");
+        let policy = CheckpointPolicy::every(&path, 48);
+        let mut net = zoo::mnist_a(47);
+        let FitOutcome::Completed(first) = trainer.fit_resumable(&mut net, &data, &policy).unwrap()
+        else {
+            panic!("must complete")
+        };
+        let finished = weight_bits(&mut net);
+
+        let mut fresh = zoo::mnist_a(48);
+        let outcome = trainer.resume_from(&mut fresh, &data, &policy).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let FitOutcome::Completed(again) = outcome else {
+            panic!("completed checkpoint must resume to Completed")
+        };
+        assert_eq!(first.epoch_losses, again.epoch_losses, "history lost");
+        assert_eq!(finished, weight_bits(&mut fresh), "weights changed");
     }
 }

@@ -10,8 +10,10 @@
 //! (Fig. 14b).
 
 use crate::crossbar::Crossbar;
+use crate::drift::DriftModel;
 use crate::energy::ReramParams;
 use crate::fault::{FaultMap, FaultModel, ProgramReport, VerifyPolicy};
+use crate::seedstream;
 use rand::Rng;
 
 /// A float matrix programmed onto ReRAM crossbars, supporting exact
@@ -113,11 +115,60 @@ impl ReramMatrix {
     ) -> Self {
         let mut m = Self::program(weights, out_dim, in_dim, params);
         for (g, (pos, neg)) in m.groups.iter_mut().enumerate() {
-            let base = seed.wrapping_add(2 * g as u64);
-            pos.attach_faults(FaultMap::generate(in_dim, out_dim, faults, base));
-            neg.attach_faults(FaultMap::generate(in_dim, out_dim, faults, base + 1));
+            let pos_seed = seedstream::crossbar_seed(seed, 2 * g as u64);
+            let neg_seed = seedstream::crossbar_seed(seed, 2 * g as u64 + 1);
+            pos.attach_faults(FaultMap::generate(in_dim, out_dim, faults, pos_seed));
+            neg.attach_faults(FaultMap::generate(in_dim, out_dim, faults, neg_seed));
         }
         m
+    }
+
+    /// Attaches the time-dependent degradation model to every member
+    /// crossbar, with per-crossbar sub-seeds from the documented
+    /// `(seed, crossbar, row, col, epoch)` scheme so the eight arrays
+    /// age independently.
+    pub fn attach_drift(&mut self, model: DriftModel, seed: u64) {
+        for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
+            pos.attach_drift(model, seedstream::crossbar_seed(seed, 2 * g as u64));
+            neg.attach_drift(model, seedstream::crossbar_seed(seed, 2 * g as u64 + 1));
+        }
+    }
+
+    /// Advances every member crossbar's degradation clock by `cycles`
+    /// logical pipeline cycles (one processed image = one cycle).
+    pub fn advance_cycles(&mut self, cycles: u64) {
+        for (pos, neg) in self.groups.iter_mut() {
+            pos.advance_cycles(cycles);
+            neg.advance_cycles(cycles);
+        }
+    }
+
+    /// Cells across all member crossbars that currently read at a level
+    /// other than the one programmed (drift/disturb damage scrub can fix).
+    pub fn drifted_cells(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|(p, n)| p.drifted_cells() + n.drifted_cells())
+            .sum()
+    }
+
+    /// Scrubs `row_count` word lines (wrapping from `row_start`) on every
+    /// member crossbar: drifted cells are re-programmed back to their
+    /// stored level through the program-and-verify loop; the merged report
+    /// carries the exact pulse/read cost of the pass.
+    pub fn scrub_rows(
+        &mut self,
+        row_start: usize,
+        row_count: usize,
+        policy: &VerifyPolicy,
+        rng: &mut impl Rng,
+    ) -> ProgramReport {
+        let mut report = ProgramReport::default();
+        for (pos, neg) in self.groups.iter_mut() {
+            report.merge(pos.scrub_rows(row_start, row_count, policy, rng));
+            report.merge(neg.scrub_rows(row_start, row_count, policy, rng));
+        }
+        report
     }
 
     /// Input dimension (word lines).

@@ -2,6 +2,7 @@
 //! multiplication through the spike/integrate-and-fire path.
 
 use crate::cell::ReramCell;
+use crate::drift::{DriftModel, DriftState};
 use crate::fault::{FaultMap, ProgramReport, UnrecoverableCell, VerifyPolicy};
 use crate::integrate_fire::IntegrateFire;
 use crate::spike::{SpikeDriver, SpikeTrain};
@@ -23,6 +24,9 @@ pub struct Crossbar {
     cells: Vec<ReramCell>, // row-major
     /// Persistent stuck-at/dead cells; `None` for an ideal array.
     faults: Option<FaultMap>,
+    /// Time-dependent degradation (retention drift + read disturb);
+    /// `None` for an ageless array.
+    drift: Option<DriftState>,
     read_spikes: u64,
     write_spikes: u64,
     output_spikes: u64,
@@ -41,6 +45,7 @@ impl Crossbar {
             cols,
             cells: vec![ReramCell::new(bits); rows * cols],
             faults: None,
+            drift: None,
             read_spikes: 0,
             write_spikes: 0,
             output_spikes: 0,
@@ -65,6 +70,48 @@ impl Crossbar {
     /// The attached fault map, if any.
     pub fn fault_map(&self) -> Option<&FaultMap> {
         self.faults.as_ref()
+    }
+
+    /// Attaches the time-dependent degradation model. All cells start at
+    /// age 0 (freshly programmed). `seed` should already be
+    /// crossbar-qualified via [`crate::seedstream::crossbar_seed`].
+    pub fn attach_drift(&mut self, model: DriftModel, seed: u64) {
+        self.drift = Some(DriftState::new(self.rows, self.cols, model, seed));
+    }
+
+    /// The attached drift state, if any.
+    pub fn drift_state(&self) -> Option<&DriftState> {
+        self.drift.as_ref()
+    }
+
+    /// Advances the degradation clock by `cycles` logical pipeline cycles
+    /// (one processed image = one cycle). No-op without an attached model.
+    pub fn advance_cycles(&mut self, cycles: u64) {
+        if let Some(d) = self.drift.as_mut() {
+            d.advance(cycles);
+        }
+    }
+
+    /// Cells whose read currently deviates from their programmed level
+    /// because of drift or disturb (fault-pinned cells are not counted —
+    /// scrub cannot help them).
+    pub fn drifted_cells(&self) -> usize {
+        let Some(d) = self.drift.as_ref() else {
+            return 0;
+        };
+        let mut n = 0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.faults.as_ref().and_then(|f| f.get(r, c)).is_some() {
+                    continue;
+                }
+                let cell = &self.cells[r * self.cols + c];
+                if d.is_degraded(r, c, cell.level(), cell.max_level()) {
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     /// Clears every fault in bit line `col` — the crossbar-level view of a
@@ -98,12 +145,15 @@ impl Crossbar {
     }
 
     /// Level the cell at `(row, col)` actually presents on a read: the
-    /// stored level, unless a fault pins it.
+    /// stored level, unless a fault pins it or age has drifted it.
     pub fn effective_level(&self, row: usize, col: usize) -> u8 {
         let cell = &self.cells[row * self.cols + col];
         match self.faults.as_ref().and_then(|f| f.get(row, col)) {
             Some(kind) => kind.effective_level(cell.max_level()),
-            None => cell.level(),
+            None => match self.drift.as_ref() {
+                Some(d) => d.effective_level(row, col, cell.level(), cell.max_level()),
+                None => cell.level(),
+            },
         }
     }
 
@@ -119,7 +169,15 @@ impl Crossbar {
         for (r, row) in levels.iter().enumerate() {
             assert_eq!(row.len(), self.cols, "level matrix column count mismatch");
             for (c, &lvl) in row.iter().enumerate() {
-                pulses += self.cells[r * self.cols + c].program(lvl) as u64;
+                let p = self.cells[r * self.cols + c].program(lvl) as u64;
+                if p > 0 {
+                    // A zero-pulse write leaves the physical cell untouched,
+                    // so its degradation clock keeps running.
+                    if let Some(d) = self.drift.as_mut() {
+                        d.note_program(r, c);
+                    }
+                }
+                pulses += p;
             }
         }
         self.write_spikes += pulses;
@@ -178,6 +236,11 @@ impl Crossbar {
                     }
                     None => {
                         let w = self.cells[idx].program_verify(target, policy, rng);
+                        if w.pulses > 0 {
+                            if let Some(d) = self.drift.as_mut() {
+                                d.note_program(r, c);
+                            }
+                        }
                         report.pulses += w.pulses as u64;
                         report.verify_reads += w.attempts as u64;
                         if !w.verified {
@@ -211,9 +274,11 @@ impl Crossbar {
         let trains: Vec<SpikeTrain> = driver.encode_vector(input);
         self.read_spikes += trains.iter().map(|t| t.spike_count() as u64).sum::<u64>();
 
-        // Reads see the *effective* levels — faults pin their cells on every
-        // access, so resolve the array once before streaming.
-        let eff: Option<Vec<u8>> = self.faults.as_ref().map(|_| {
+        // Reads see the *effective* levels — faults pin their cells and
+        // drift/disturb skews them on every access, so resolve the array
+        // once before streaming (disturb from this MVM lands afterwards).
+        let degraded = self.faults.is_some() || self.drift.is_some();
+        let eff: Option<Vec<u8>> = degraded.then(|| {
             (0..self.rows * self.cols)
                 .map(|i| self.effective_level(i / self.cols, i % self.cols))
                 .collect()
@@ -242,7 +307,71 @@ impl Crossbar {
         }
         let out: Vec<u64> = fires.iter_mut().map(|f| f.fire()).collect();
         self.output_spikes += out.iter().sum::<u64>();
+        // Every slot that drove a word line disturbed that row's cells.
+        if let Some(d) = self.drift.as_mut() {
+            for (r, train) in trains.iter().enumerate() {
+                d.note_row_reads(r, train.spike_count() as u64);
+            }
+        }
         out
+    }
+
+    /// Scrubs `row_count` word lines starting at `row_start` (wrapping
+    /// around the array): each healthy cell is read back and, if drift or
+    /// disturb moved it off its programmed level, re-programmed to that
+    /// level through the program-and-verify loop. Fault-pinned cells cost
+    /// one verify read and are skipped — scrub cannot recover them and
+    /// they were already reported at commissioning.
+    ///
+    /// Verify reads and re-programming pulses are counted exactly like
+    /// write-path costs, so the energy/endurance accounting sees scrub
+    /// wear. Cells that actually received pulses restart their
+    /// degradation clock.
+    pub fn scrub_rows(
+        &mut self,
+        row_start: usize,
+        row_count: usize,
+        policy: &VerifyPolicy,
+        rng: &mut impl Rng,
+    ) -> ProgramReport {
+        let mut report = ProgramReport::default();
+        for i in 0..row_count.min(self.rows) {
+            let r = (row_start + i) % self.rows;
+            for c in 0..self.cols {
+                let idx = r * self.cols + c;
+                if self.faults.as_ref().and_then(|f| f.get(r, c)).is_some() {
+                    report.verify_reads += 1;
+                    continue;
+                }
+                let target = self.cells[idx].level();
+                let actual = self.effective_level(r, c);
+                // Materialize the degradation in the cell, then drive it
+                // back through the standard verify loop. A clean cell
+                // costs exactly one verify read and zero pulses.
+                let _ = self.cells[idx].program(actual);
+                let w = self.cells[idx].program_verify(target, policy, rng);
+                report.ideal_pulses +=
+                    u64::from((i32::from(actual) - i32::from(target)).unsigned_abs());
+                report.pulses += u64::from(w.pulses);
+                report.verify_reads += u64::from(w.attempts);
+                if w.pulses > 0 {
+                    if let Some(d) = self.drift.as_mut() {
+                        d.note_program(r, c);
+                    }
+                }
+                if !w.verified {
+                    report.unrecoverable.push(UnrecoverableCell {
+                        row: r,
+                        col: c,
+                        target,
+                        actual: self.cells[idx].level(),
+                    });
+                }
+            }
+        }
+        self.write_spikes += report.pulses;
+        self.read_spikes += report.verify_reads;
+        report
     }
 
     /// Input spikes consumed so far.
@@ -304,6 +433,114 @@ mod tests {
         xbar.program(&[vec![15; 4], vec![15; 4], vec![15; 4], vec![15; 4]]);
         assert_eq!(xbar.mvm_spiked(&[0; 4], 16), vec![0; 4]);
         assert_eq!(xbar.read_spikes(), 0);
+    }
+
+    #[test]
+    fn drift_corrupts_mvm_and_scrub_restores() {
+        use crate::drift::DriftModel;
+        use rand::{rngs::StdRng, SeedableRng};
+        let model = DriftModel {
+            nu: 0.15,
+            nu_sigma: 0.0,
+            t0_cycles: 10,
+            disturb_per_level: 0,
+        };
+        let levels = vec![vec![9, 12], vec![15, 6]];
+        let mut xbar = Crossbar::new(2, 2, 4);
+        xbar.program(&levels);
+        xbar.attach_drift(model, 5);
+
+        let fresh = xbar.mvm_spiked(&[1, 1], 4);
+        assert_eq!(fresh, reference_mvm(&levels, &[1, 1]));
+
+        xbar.advance_cycles(1_000_000);
+        assert!(xbar.drifted_cells() > 0, "a megacycle must drift something");
+        let aged = xbar.mvm_spiked(&[1, 1], 4);
+        assert_ne!(aged, fresh, "drifted weights change the product");
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = xbar.scrub_rows(0, 2, &VerifyPolicy::default(), &mut rng);
+        assert!(report.pulses > 0, "scrub must re-pulse drifted cells");
+        assert_eq!(xbar.drifted_cells(), 0);
+        assert_eq!(xbar.mvm_spiked(&[1, 1], 4), fresh, "scrub restores reads");
+    }
+
+    #[test]
+    fn zero_pulse_rewrite_does_not_reset_aging() {
+        use crate::drift::DriftModel;
+        let model = DriftModel {
+            nu: 0.15,
+            nu_sigma: 0.0,
+            t0_cycles: 10,
+            disturb_per_level: 0,
+        };
+        let levels = vec![vec![15, 15], vec![15, 15]];
+        let mut xbar = Crossbar::new(2, 2, 4);
+        xbar.program(&levels);
+        xbar.attach_drift(model, 5);
+        xbar.advance_cycles(1_000_000);
+        let before = xbar.drifted_cells();
+        assert!(before > 0);
+        // Writing the same values issues no pulses, so cells keep aging.
+        assert_eq!(xbar.program(&levels), 0);
+        assert_eq!(xbar.drifted_cells(), before);
+    }
+
+    #[test]
+    fn read_disturb_accumulates_over_mvms() {
+        use crate::drift::DriftModel;
+        let model = DriftModel {
+            nu: 0.0,
+            nu_sigma: 0.0,
+            t0_cycles: 1,
+            disturb_per_level: 50,
+        };
+        let levels = vec![vec![3, 3], vec![3, 3]];
+        let mut xbar = Crossbar::new(2, 2, 4);
+        xbar.program(&levels);
+        xbar.attach_drift(model, 5);
+        // Each MVM with input 15 (4 slots firing) adds 4 slot-reads per row.
+        for _ in 0..13 {
+            xbar.mvm_spiked(&[15, 15], 4);
+        }
+        // 52 slot-reads ≥ 50 ⇒ every cell now reads one level high.
+        assert_eq!(xbar.drifted_cells(), 4);
+        assert_eq!(xbar.effective_level(0, 0), 4);
+        let out = xbar.mvm_spiked(&[1, 1], 4);
+        assert_eq!(out, vec![8, 8], "disturbed cells read 4 instead of 3");
+    }
+
+    #[test]
+    fn scrub_on_clean_array_costs_one_read_per_cell() {
+        use crate::drift::DriftModel;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut xbar = Crossbar::new(3, 3, 4);
+        xbar.program(&[vec![5; 3], vec![5; 3], vec![5; 3]]);
+        xbar.attach_drift(DriftModel::ideal(), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = xbar.scrub_rows(0, 3, &VerifyPolicy::default(), &mut rng);
+        assert_eq!(report.pulses, 0);
+        assert_eq!(report.verify_reads, 9);
+        assert!(report.unrecoverable.is_empty());
+    }
+
+    #[test]
+    fn scrub_skips_fault_pinned_cells() {
+        use crate::drift::DriftModel;
+        use crate::fault::FaultKind;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut xbar = Crossbar::new(2, 2, 4);
+        xbar.program(&[vec![7, 7], vec![7, 7]]);
+        let mut map = FaultMap::pristine(2, 2);
+        map.set(0, 0, FaultKind::StuckAtZero);
+        xbar.attach_faults(map);
+        xbar.attach_drift(DriftModel::ideal(), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = xbar.scrub_rows(0, 2, &VerifyPolicy::default(), &mut rng);
+        // Pinned cell: one probe read, no pulses, not re-reported.
+        assert_eq!(report.pulses, 0);
+        assert_eq!(report.verify_reads, 4);
+        assert!(report.unrecoverable.is_empty());
     }
 
     #[test]
@@ -404,6 +641,45 @@ mod tests {
             let mut xbar = Crossbar::new(rows, cols, 4);
             xbar.program(&levels);
             prop_assert_eq!(xbar.mvm_spiked(&input, 16), reference_mvm(&levels, &input));
+        }
+
+        /// After drift reaches (at least) the first misread, one full scrub
+        /// pass restores every cell to its programmed level.
+        #[test]
+        fn scrub_restores_after_first_misread(
+            rows in 1usize..6,
+            cols in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            use crate::drift::DriftModel;
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let levels: Vec<Vec<u8>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.random_range(1u8..16)).collect())
+                .collect();
+            let model = DriftModel {
+                nu: 0.1,
+                nu_sigma: 0.05,
+                t0_cycles: 8,
+                disturb_per_level: 0,
+            };
+            let mut xbar = Crossbar::new(rows, cols, 4);
+            xbar.program(&levels);
+            xbar.attach_drift(model, seed);
+            let mut steps = 0;
+            while xbar.drifted_cells() == 0 && steps < 20 {
+                xbar.advance_cycles(1000);
+                steps += 1;
+            }
+            prop_assert!(xbar.drifted_cells() > 0, "never drifted to a misread");
+            let mut prng = StdRng::seed_from_u64(0);
+            let report = xbar.scrub_rows(0, rows, &VerifyPolicy::default(), &mut prng);
+            prop_assert!(report.unrecoverable.is_empty());
+            for (r, row) in levels.iter().enumerate() {
+                for (c, &lvl) in row.iter().enumerate() {
+                    prop_assert_eq!(xbar.effective_level(r, c), lvl);
+                }
+            }
         }
 
         /// MVM is linear in the input: f(a) + f(b) == f(a+b).

@@ -17,8 +17,7 @@
 //!   pass actually cost and which cells it could not fix, the input to the
 //!   spare-remapping layer (`pipelayer::repair`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt as _, SeedableRng};
+use rand::{Rng, RngExt as _};
 
 /// The ways a cell can be permanently broken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,7 +132,11 @@ impl FaultMap {
         }
     }
 
-    /// Draws a map from `model`, deterministically in `seed`.
+    /// Draws a map from `model`, deterministically in `seed`. Each cell's
+    /// draw comes from its own `(seed, crossbar, row, col, epoch=0)`
+    /// stream (see [`crate::seedstream`]; `seed` is taken as already
+    /// crossbar-qualified), so whether a given cell is faulty is
+    /// independent of geometry traversal order and thread count.
     ///
     /// # Panics
     ///
@@ -144,9 +147,8 @@ impl FaultMap {
         if model.is_ideal() {
             return map;
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        for k in map.kinds.iter_mut() {
-            let r: f64 = rng.random();
+        for (i, k) in map.kinds.iter_mut().enumerate() {
+            let r = crate::seedstream::cell_unit(seed, i / cols, i % cols, 0);
             *k = if r < model.stuck_at_zero {
                 Some(FaultKind::StuckAtZero)
             } else if r < model.stuck_at_zero + model.stuck_at_max {

@@ -25,6 +25,12 @@
 //! * [`fault`] — persistent stuck-at/dead cell maps and the bounded
 //!   program-and-verify write discipline (retry pulses, unrecoverable-cell
 //!   reports) the repair layer consumes.
+//! * [`drift`] — time-dependent degradation: power-law retention drift and
+//!   read-disturb accumulation, advanced in logical pipeline cycles and
+//!   countered by the crossbar-level scrub pass.
+//! * [`seedstream`] — the documented `(seed, crossbar, row, col, epoch)`
+//!   per-cell random-stream convention shared by `fault`, `variation` and
+//!   `drift` so campaigns reproduce at any thread count.
 //! * [`energy`] / [`area`] — NVSim-derived timing/energy constants
 //!   (29.31 ns / 50.88 ns and 1.08 pJ / 3.91 nJ per read/write spike) and the
 //!   area model.
@@ -46,10 +52,12 @@ pub mod area;
 pub mod array_group;
 pub mod cell;
 pub mod crossbar;
+pub mod drift;
 pub mod energy;
 pub mod fault;
 pub mod integrate_fire;
 pub mod partition;
+pub mod seedstream;
 pub mod spike;
 pub mod subarray;
 pub mod variation;
@@ -58,6 +66,7 @@ pub use area::AreaModel;
 pub use array_group::ReramMatrix;
 pub use cell::{CellWrite, ReramCell};
 pub use crossbar::Crossbar;
+pub use drift::{DriftModel, DriftState};
 pub use energy::{EnergyCounter, ReramParams};
 pub use fault::{FaultKind, FaultMap, FaultModel, ProgramReport, UnrecoverableCell, VerifyPolicy};
 pub use integrate_fire::IntegrateFire;

@@ -8,8 +8,7 @@
 //! accuracy cost of device imperfection can be measured (the
 //! `ablation_variation` bench).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt as _, SeedableRng};
+use rand::{Rng, RngExt as _};
 
 /// A stochastic cell-level fault/variation model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,7 +104,10 @@ impl VariationModel {
 
     /// Perturbs a whole float buffer as if quantized to `data_bits` against
     /// its own max magnitude and stored on faulty cells, returning the
-    /// dequantized (corrupted) values. Deterministic in `seed`.
+    /// dequantized (corrupted) values. Deterministic in `seed`: each
+    /// element draws from its own `(seed, crossbar, row=index, col=0,
+    /// epoch=0)` stream (see [`crate::seedstream`]), so a value's fate is
+    /// independent of buffer traversal order.
     pub fn perturb_weights(
         &self,
         weights: &[f32],
@@ -116,7 +118,6 @@ impl VariationModel {
         if self.is_ideal() {
             return weights.to_vec();
         }
-        let mut rng = StdRng::seed_from_u64(seed);
         let absmax = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
         if absmax == 0.0 {
             return weights.to_vec();
@@ -125,7 +126,9 @@ impl VariationModel {
         let scale = absmax / qmax;
         weights
             .iter()
-            .map(|&w| {
+            .enumerate()
+            .map(|(i, &w)| {
+                let mut rng = crate::seedstream::cell_rng(seed, i, 0, 0);
                 let code = (w / scale).round().clamp(-qmax, qmax) as i32;
                 self.perturb_code(code, data_bits, cell_bits, &mut rng) as f32 * scale
             })
@@ -137,6 +140,7 @@ impl VariationModel {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn ideal_model_is_identity() {
