@@ -7,9 +7,13 @@
 //! cells, and test accuracy is re-measured.
 //!
 //! Run with `--release` (training included). `--quick` shrinks the budget.
+//! `--noise` adds a second axis: the same networks re-evaluated under the
+//! unified analog non-ideality model (lognormal spread + IR drop + read
+//! noise, `NoiseModel::with_strength`), reported in the same
+//! normalized-accuracy schema as the write-variation sweep.
 
 use pipelayer::variation::corrupt_network;
-use pipelayer::variation::variation_sweep;
+use pipelayer::variation::{noise_sweep, variation_sweep};
 use pipelayer_bench::{fmt_f, Table};
 use pipelayer_nn::data::SyntheticMnist;
 use pipelayer_nn::trainer::{TrainConfig, Trainer};
@@ -18,9 +22,14 @@ use pipelayer_quant::{restore_params, snapshot_params};
 use pipelayer_reram::{ReramParams, VariationModel};
 
 const SIGMAS: [f64; 5] = [0.0, 0.25, 0.5, 1.0, 2.0];
+/// `--noise` axis: `NoiseModel::with_strength` sweep points.
+const STRENGTHS: [f64; 5] = [0.0, 1.0, 2.0, 4.0, 6.0];
+/// Device-draw seed of the `--noise` axis (one simulated chip).
+const NOISE_SEED: u64 = 0xA11A;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let noise = std::env::args().any(|a| a == "--noise");
     let (n_train, n_test, epochs) = if quick { (400, 150, 3) } else { (1500, 400, 5) };
     let data = SyntheticMnist::generate(n_train, n_test, 3141);
     let params = ReramParams::default();
@@ -31,6 +40,14 @@ fn main() {
     let mut table = Table::new(
         "Ablation: normalized accuracy vs write variation (4-bit cells, 16-bit words)",
         &hrefs,
+    );
+
+    let mut noise_headers = vec!["network".to_string(), "float".to_string()];
+    noise_headers.extend(STRENGTHS.iter().map(|s| format!("s={s}")));
+    let nrefs: Vec<&str> = noise_headers.iter().map(|s| s.as_str()).collect();
+    let mut noise_table = Table::new(
+        "Ablation: normalized accuracy vs analog non-ideality strength",
+        &nrefs,
     );
 
     for (name, build) in [
@@ -53,8 +70,21 @@ fn main() {
         ];
         row.extend(points.iter().map(|p| fmt_f(p.normalized as f64, 3)));
         table.row(row);
+        if noise {
+            let pts = noise_sweep(&mut net, &data.test, &STRENGTHS, 3, &params, NOISE_SEED);
+            let mut row = vec![
+                name.to_string(),
+                fmt_f(report.final_test_accuracy as f64, 3),
+            ];
+            row.extend(pts.iter().map(|p| fmt_f(p.normalized as f64, 3)));
+            noise_table.row(row);
+        }
     }
     table.print();
+    if noise {
+        println!();
+        noise_table.print();
+    }
 
     // Stuck-at fault sweep on the MLP.
     println!();

@@ -64,13 +64,10 @@ pub struct AcceleratorBuilder {
 }
 
 impl AcceleratorBuilder {
-    /// Training batch size `B`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Training batch size `B`. Zero is a caller bug: debug builds assert,
+    /// and [`PipeLayerConfig::validate`] rejects the resulting config.
     pub fn batch_size(mut self, b: usize) -> Self {
-        assert!(b > 0, "batch size must be non-zero");
+        debug_assert!(b > 0, "batch size must be non-zero");
         self.config.batch_size = b;
         self
     }

@@ -2,7 +2,7 @@
 
 use crate::repair::SpareBudget;
 use crate::scrub::ScrubPolicy;
-use pipelayer_reram::{FaultModel, ReramParams, VerifyPolicy};
+use pipelayer_reram::{FaultModel, NoiseModel, ReramParams, VerifyPolicy};
 
 /// A rejected [`PipeLayerConfig`].
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,12 @@ pub enum ConfigError {
     ZeroScrubRows,
     /// The scrub re-pulse fraction was outside `[0, 1]` or non-finite.
     InvalidScrubFraction(f64),
+    /// A noise-model σ (lognormal device spread or read noise) was negative
+    /// or non-finite.
+    InvalidNoiseSigma(f64),
+    /// A noise-model fraction (IR-drop attenuation or conductance on/off
+    /// floor) was outside `[0, 1]` or non-finite.
+    InvalidNoiseFraction(f64),
 }
 
 impl core::fmt::Display for ConfigError {
@@ -54,6 +60,12 @@ impl core::fmt::Display for ConfigError {
             }
             ConfigError::InvalidScrubFraction(r) => {
                 write!(f, "scrub re-pulse fraction {r} must be in [0,1]")
+            }
+            ConfigError::InvalidNoiseSigma(s) => {
+                write!(f, "noise sigma {s} must be finite and non-negative")
+            }
+            ConfigError::InvalidNoiseFraction(r) => {
+                write!(f, "noise fraction {r} must be in [0,1]")
             }
         }
     }
@@ -147,6 +159,10 @@ pub struct PipeLayerConfig {
     /// Online scrub/refresh scheduling against device aging (off by
     /// default — all scrub cost terms are then exact no-ops).
     pub scrub: ScrubPolicy,
+    /// Analog read-path non-idealities — lognormal LRS/HRS conductance
+    /// spread, IR drop, per-read Gaussian noise ([`NoiseModel::ideal`] by
+    /// default, an exact no-op on every read).
+    pub noise: NoiseModel,
 }
 
 impl Default for PipeLayerConfig {
@@ -159,6 +175,7 @@ impl Default for PipeLayerConfig {
             spares: SpareBudget::none(),
             datapath: DatapathFormat::default(),
             scrub: ScrubPolicy::off(),
+            noise: NoiseModel::ideal(),
         }
     }
 }
@@ -264,6 +281,20 @@ impl PipeLayerConfig {
                 return Err(ConfigError::InvalidScrubFraction(f));
             }
         }
+        for s in [
+            self.noise.lrs_sigma,
+            self.noise.hrs_sigma,
+            self.noise.read_sigma,
+        ] {
+            if s < 0.0 || !s.is_finite() {
+                return Err(ConfigError::InvalidNoiseSigma(s));
+            }
+        }
+        for r in [self.noise.ir_drop, self.noise.g_ratio] {
+            if !(0.0..=1.0).contains(&r) || !r.is_finite() {
+                return Err(ConfigError::InvalidNoiseFraction(r));
+            }
+        }
         self.datapath.validate()
     }
 
@@ -300,6 +331,13 @@ impl PipeLayerConfig {
     pub fn scrub_enabled(&self) -> bool {
         !self.scrub.is_off()
     }
+
+    /// `true` once any analog non-ideality knob departs from the ideal
+    /// defaults — the gate that keeps every read bit-exact when the noise
+    /// model is off.
+    pub fn noise_enabled(&self) -> bool {
+        !self.noise.is_ideal()
+    }
 }
 
 #[cfg(test)]
@@ -330,9 +368,50 @@ mod tests {
     fn defaults_are_exact_noops() {
         let c = PipeLayerConfig::default();
         assert!(!c.fault_tolerance_enabled());
+        assert!(!c.noise_enabled());
         assert_eq!(c.write_pulse_multiplier(), 1.0);
         assert_eq!(c.verify_reads_per_cell_write(), 0.0);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn noise_model_validates_its_domain() {
+        let mut cfg = PipeLayerConfig {
+            noise: NoiseModel::with_strength(1.0),
+            ..PipeLayerConfig::default()
+        };
+        assert!(cfg.noise_enabled());
+        assert!(cfg.validate().is_ok());
+
+        cfg.noise = NoiseModel {
+            lrs_sigma: -0.1,
+            ..NoiseModel::ideal()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::InvalidNoiseSigma(-0.1)));
+
+        cfg.noise = NoiseModel {
+            read_sigma: f64::NAN,
+            ..NoiseModel::ideal()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidNoiseSigma(_))
+        ));
+
+        cfg.noise = NoiseModel {
+            ir_drop: 1.5,
+            ..NoiseModel::ideal()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::InvalidNoiseFraction(1.5)));
+
+        cfg.noise = NoiseModel {
+            g_ratio: -0.01,
+            ..NoiseModel::ideal()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidNoiseFraction(_))
+        ));
     }
 
     #[test]

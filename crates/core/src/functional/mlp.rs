@@ -19,7 +19,7 @@ use crate::repair::{RepairController, SpareBudget};
 use crate::scrub::ScrubPolicy;
 use pipelayer_nn::loss::Loss;
 use pipelayer_reram::{
-    DriftModel, FaultModel, ProgramReport, ReramMatrix, ReramParams, VerifyPolicy,
+    DriftModel, FaultModel, NoiseModel, ProgramReport, ReramMatrix, ReramParams, VerifyPolicy,
 };
 use pipelayer_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
@@ -341,6 +341,34 @@ impl ReramMlp {
             cursors,
             passes: 0,
         });
+        mlp
+    }
+
+    /// Attaches the unified analog non-ideality model to every array (both
+    /// the forward and the reordered-backward copy of each layer), with the
+    /// same per-layer salt discipline as [`with_resilience`]
+    /// (Self::with_resilience). [`NoiseModel::ideal`] leaves every read
+    /// bit-exact; composes with faults, drift and scrub — noise applies on
+    /// top of whatever level those models resolve.
+    pub fn attach_noise(&mut self, model: NoiseModel, seed: u64) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let salt = seed.wrapping_add(1 + 1000 * i as u64);
+            layer.forward.attach_noise(model, salt);
+            layer
+                .backward
+                .attach_noise(model, salt ^ 0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    /// [`new`](Self::new) plus [`attach_noise`](Self::attach_noise): an MLP
+    /// whose every array read carries the analog non-idealities of `noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid widths (see [`new`](Self::new)).
+    pub fn with_noise(dims: &[usize], params: &ReramParams, seed: u64, noise: NoiseModel) -> Self {
+        let mut mlp = Self::new(dims, params, seed);
+        mlp.attach_noise(noise, seed);
         mlp
     }
 
@@ -676,6 +704,58 @@ mod tests {
         assert!(
             after > before + 0.2 && after > 0.5,
             "ReRAM training failed: {before} -> {after}, loss {last_loss}"
+        );
+    }
+
+    /// Attaching the ideal noise model must leave every forward bit
+    /// identical to a never-attached MLP — the no-op gate at the
+    /// functional level.
+    #[test]
+    fn ideal_noise_attach_is_exact_noop() {
+        let x = [0.2f32, -0.4, 0.6, 0.1, -0.9, 0.5];
+        let mut plain = ReramMlp::new(&[6, 4, 3], &ReramParams::default(), 8);
+        let reference: Vec<u32> = plain.forward(&x).iter().map(|v| v.to_bits()).collect();
+
+        let mut noisy =
+            ReramMlp::with_noise(&[6, 4, 3], &ReramParams::default(), 8, NoiseModel::ideal());
+        let got: Vec<u32> = noisy.forward(&x).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(reference, got, "ideal noise model changed forward bits");
+    }
+
+    /// A noisy MLP still learns the synthetic task (the datapath stays
+    /// trainable under mild analog non-idealities), and the noise actually
+    /// perturbs the forward pass.
+    #[test]
+    fn noisy_reram_mlp_still_trains() {
+        let (tr, trl, te, tel) = small_task();
+        let noise = NoiseModel::with_strength(0.5);
+        let mut mlp = ReramMlp::with_noise(&[49, 16, 10], &ReramParams::default(), 5, noise);
+
+        let mut plain = ReramMlp::new(&[49, 16, 10], &ReramParams::default(), 5);
+        let x: Vec<f32> = vec![0.3; 49];
+        assert_ne!(
+            plain
+                .forward(&x)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            mlp.forward(&x)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "strength-0.5 noise should perturb the forward pass"
+        );
+
+        let before = mlp.accuracy(&te, &tel);
+        for _ in 0..8 {
+            for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)) {
+                mlp.train_batch(imgs, labs, 0.3);
+            }
+        }
+        let after = mlp.accuracy(&te, &tel);
+        assert!(
+            after > before + 0.15 && after > 0.4,
+            "noisy ReRAM training failed: {before} -> {after}"
         );
     }
 

@@ -66,3 +66,4 @@ pub use perf::RunEstimate;
 pub use repair::{RepairController, SpareBudget};
 pub use report::ConfigurationReport;
 pub use scrub::{DriftReport, DriftSample, ScrubPolicy};
+pub use variation::{ReramNoiseHook, VariationPoint};

@@ -22,10 +22,11 @@ impl Loss {
     ///
     /// # Panics
     ///
-    /// Panics if `target >= output.numel()`.
+    /// Panics if `target >= output.numel()` (through the slice bounds
+    /// check; debug builds report the richer message below).
     pub fn loss_and_delta(&self, output: &Tensor, target: usize) -> (f32, Tensor) {
         let n = output.numel();
-        assert!(target < n, "target {target} out of range for {n} classes");
+        debug_assert!(target < n, "target {target} out of range for {n} classes");
         match self {
             Loss::L2 => {
                 let mut delta = output.clone();

@@ -13,6 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Seed of the epoch-shuffle RNG stream (one stream for the whole run;
 /// epoch `e`'s order is the state after `e + 1` Fisher–Yates passes, so a
@@ -155,11 +156,42 @@ pub struct TrainReport {
     pub final_test_accuracy: f32,
 }
 
+/// A deterministic parameter-perturbation hook for noise-aware training:
+/// before each batch's forward/backward passes the trainer hands every
+/// parameter buffer to [`perturb`](BatchNoise::perturb), computes the
+/// batch on the perturbed weights, and then *folds* the resulting update
+/// back onto the clean weights — so gradients see the noise the inference
+/// hardware will inject, but the learned parameters stay clean.
+///
+/// Implementations MUST be pure in `(buffer contents, layer, is_bias,
+/// batch)` — no wall-clock or shared mutable state — or kill/resume and
+/// thread-count determinism break. The device model backing the hook
+/// lives downstream (the `pipelayer` crate's `ReramNoiseHook`); this crate
+/// only defines the injection point.
+pub trait BatchNoise: Send + Sync {
+    /// Perturbs one parameter buffer in place. `layer` is the ordinal of
+    /// the parameter-bearing layer, `is_bias` distinguishes its two
+    /// buffers, and `batch` is the global batch index (stable across
+    /// checkpoint/resume).
+    fn perturb(&self, buf: &mut [f32], layer: usize, is_bias: bool, batch: u64);
+}
+
 /// Drives training of a [`Network`] over a [`SyntheticMnist`] dataset.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Trainer {
     config: TrainConfig,
     optimizer: Option<Optimizer>,
+    noise: Option<Arc<dyn BatchNoise>>,
+}
+
+impl fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trainer")
+            .field("config", &self.config)
+            .field("optimizer", &self.optimizer)
+            .field("noise", &self.noise.as_ref().map(|_| "<BatchNoise>"))
+            .finish()
+    }
 }
 
 impl Trainer {
@@ -169,6 +201,7 @@ impl Trainer {
         Trainer {
             config,
             optimizer: None,
+            noise: None,
         }
     }
 
@@ -176,6 +209,17 @@ impl Trainer {
     /// plain SGD; the rule's own learning rate replaces `config.lr`.
     pub fn with_optimizer(mut self, opt: Optimizer) -> Self {
         self.optimizer = Some(opt);
+        self
+    }
+
+    /// Enables noise-aware training: every batch runs on weights perturbed
+    /// by `noise` (see [`BatchNoise`]), with the update folded back onto
+    /// the clean weights. Perturbation happens *before* the data-parallel
+    /// section, so any thread count still produces bitwise-identical
+    /// results, and the clean weights are what checkpoints persist —
+    /// kill/resume replays exactly.
+    pub fn with_noise(mut self, noise: Arc<dyn BatchNoise>) -> Self {
+        self.noise = Some(noise);
         self
     }
 
@@ -272,6 +316,7 @@ impl Trainer {
         }
 
         let n = data.train.len();
+        let batches_per_epoch = n.div_ceil(cfg.batch_size) as u64;
         let threads = cfg.resolved_threads();
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(SHUFFLE_SEED);
@@ -325,12 +370,24 @@ impl Trainer {
                     .map(|&i| data.train.images[i].clone())
                     .collect();
                 let labels: Vec<_> = chunk.iter().map(|&i| data.train.labels[i]).collect();
+                // Noise-aware training: perturb the weights before the
+                // (data-parallel) batch, then fold the update back onto the
+                // clean weights, so the checkpoint below always holds clean
+                // parameters. The global batch index is stable across
+                // kill/resume because `batches` starts at the cursor.
+                let snaps = self.noise.as_ref().map(|hook| {
+                    let global = epoch as u64 * batches_per_epoch + batches as u64;
+                    apply_batch_noise(net, hook.as_ref(), global)
+                });
                 epoch_loss += match (&self.optimizer, &mut states) {
                     (Some(opt), Some(states)) => {
                         net.train_batch_opt_parallel(&images, &labels, opt, states, threads)
                     }
                     _ => net.train_batch_parallel(&images, &labels, cfg.lr, threads),
                 };
+                if let Some(snaps) = snaps {
+                    fold_noisy_update(net, snaps);
+                }
                 batches += 1;
                 done += chunk.len() as u64;
                 images_this_call += chunk.len() as u64;
@@ -404,6 +461,56 @@ impl Trainer {
         let blob = save_checkpoint(net, &state);
         atomic_write(&policy.path, &blob)?;
         Ok(())
+    }
+}
+
+/// Perturbs every parameter buffer in place for batch `batch` and returns,
+/// per buffer in traversal order, the `(clean, noisy)` snapshots
+/// [`fold_noisy_update`] needs to restore clean weights afterwards.
+fn apply_batch_noise(
+    net: &mut Network,
+    hook: &dyn BatchNoise,
+    batch: u64,
+) -> Vec<(Vec<f32>, Vec<f32>)> {
+    let mut snaps = Vec::new();
+    let mut ordinal = 0usize;
+    for layer in net.layers_mut() {
+        let Some(p) = layer.params_mut() else {
+            continue;
+        };
+        for (buf, is_bias) in [
+            (p.weight.as_mut_slice(), false),
+            (p.bias.as_mut_slice(), true),
+        ] {
+            let clean = buf.to_vec();
+            hook.perturb(buf, ordinal, is_bias, batch);
+            snaps.push((clean, buf.to_vec()));
+        }
+        ordinal += 1;
+    }
+    snaps
+}
+
+/// Folds a noisy batch's update back onto the clean weights:
+/// `w ← clean + (w_post − noisy)`. The gradient was computed on the noisy
+/// weights (that is the point), but the *delta* it produced lands on the
+/// clean parameters, so training state stays noise-free.
+fn fold_noisy_update(net: &mut Network, snaps: Vec<(Vec<f32>, Vec<f32>)>) {
+    let mut it = snaps.into_iter();
+    for layer in net.layers_mut() {
+        let Some(p) = layer.params_mut() else {
+            continue;
+        };
+        for buf in [p.weight.as_mut_slice(), p.bias.as_mut_slice()] {
+            // Snapshots were taken over the identical traversal, so the
+            // iterator cannot run dry; skip defensively if it somehow does.
+            let Some((clean, noisy)) = it.next() else {
+                continue;
+            };
+            for ((w, c), nz) in buf.iter_mut().zip(&clean).zip(&noisy) {
+                *w = c + (*w - nz);
+            }
+        }
     }
 }
 
@@ -662,6 +769,70 @@ mod tests {
             "momentum kill-and-resume diverged (velocities not restored?)"
         );
         assert_eq!(report.epoch_losses.len(), 2);
+    }
+
+    /// A pure, seedless stand-in for the downstream ReRAM noise hook: a
+    /// splitmix-style hash of `(layer, is_bias, batch, index)` drives a
+    /// small additive perturbation, so tests exercise the injection
+    /// machinery without depending on the device model.
+    struct TestNoise;
+
+    impl BatchNoise for TestNoise {
+        fn perturb(&self, buf: &mut [f32], layer: usize, is_bias: bool, batch: u64) {
+            let salt = ((layer as u64) << 32) | ((is_bias as u64) << 16);
+            for (i, w) in buf.iter_mut().enumerate() {
+                let mut x = salt
+                    ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ (i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+                x ^= x >> 29;
+                let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+                *w += ((unit - 0.5) * 0.02) as f32;
+            }
+        }
+    }
+
+    /// Satellite acceptance: noise-aware training must stay bitwise
+    /// deterministic at 1, 2 and 8 threads (perturbation happens before the
+    /// data-parallel section), and must actually change the trajectory
+    /// relative to a clean run.
+    #[test]
+    fn noise_aware_training_is_bitwise_deterministic_across_thread_counts() {
+        let data = SyntheticMnist::generate(96, 24, 51);
+        let run = |threads: usize, noisy: bool| -> Vec<u32> {
+            let mut net = zoo::mnist_a(51);
+            let mut trainer = Trainer::new(small_config(threads));
+            if noisy {
+                trainer = trainer.with_noise(Arc::new(TestNoise));
+            }
+            trainer.fit(&mut net, &data);
+            weight_bits(&mut net)
+        };
+        let serial = run(1, true);
+        assert_eq!(serial, run(2, true), "2-thread noisy run diverged");
+        assert_eq!(serial, run(8, true), "8-thread noisy run diverged");
+        assert_ne!(serial, run(1, false), "noise hook had no effect");
+    }
+
+    /// Kill/resume with noise-aware training on: the global batch index
+    /// feeding the hook comes from the checkpoint cursor, so a killed and
+    /// resumed noisy run must replay to bitwise-identical weights.
+    #[test]
+    fn noise_aware_kill_and_resume_is_bitwise_identical() {
+        let data = SyntheticMnist::generate(96, 24, 53);
+        let trainer = Trainer::new(small_config(2)).with_noise(Arc::new(TestNoise));
+        let mut ref_net = zoo::mnist_a(53);
+        trainer.fit(&mut ref_net, &data);
+        let reference = weight_bits(&mut ref_net);
+
+        let path = ckpt_path("kill-noise");
+        let policy = CheckpointPolicy::every(&path, 1_000_000);
+        let (resumed, _) = run_with_kills(&trainer, &data, 53, policy, 41);
+        assert_eq!(
+            reference, resumed,
+            "noise-aware kill-and-resume diverged (batch index not replayed?)"
+        );
     }
 
     /// A checkpoint whose cursor sits at `epochs` marks the run complete:

@@ -13,6 +13,7 @@ use crate::crossbar::Crossbar;
 use crate::drift::DriftModel;
 use crate::energy::ReramParams;
 use crate::fault::{FaultMap, FaultModel, ProgramReport, VerifyPolicy};
+use crate::noise::NoiseModel;
 use crate::seedstream;
 use rand::Rng;
 
@@ -131,6 +132,17 @@ impl ReramMatrix {
         for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
             pos.attach_drift(model, seedstream::crossbar_seed(seed, 2 * g as u64));
             neg.attach_drift(model, seedstream::crossbar_seed(seed, 2 * g as u64 + 1));
+        }
+    }
+
+    /// Attaches the analog non-ideality model to every member crossbar,
+    /// with per-crossbar sub-seeds from the documented
+    /// `(seed, crossbar, row, col, epoch)` scheme so the eight arrays see
+    /// independent device lotteries and read noise.
+    pub fn attach_noise(&mut self, model: NoiseModel, seed: u64) {
+        for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
+            pos.attach_noise(model, seedstream::crossbar_seed(seed, 2 * g as u64));
+            neg.attach_noise(model, seedstream::crossbar_seed(seed, 2 * g as u64 + 1));
         }
     }
 

@@ -5,6 +5,7 @@ use crate::cell::ReramCell;
 use crate::drift::{DriftModel, DriftState};
 use crate::fault::{FaultMap, ProgramReport, UnrecoverableCell, VerifyPolicy};
 use crate::integrate_fire::IntegrateFire;
+use crate::noise::{NoiseModel, NoiseState};
 use crate::spike::{SpikeDriver, SpikeTrain};
 use rand::Rng;
 
@@ -27,6 +28,9 @@ pub struct Crossbar {
     /// Time-dependent degradation (retention drift + read disturb);
     /// `None` for an ageless array.
     drift: Option<DriftState>,
+    /// Analog read-path non-idealities (lognormal spread, IR drop, read
+    /// noise); `None` for a noiseless array.
+    noise: Option<NoiseState>,
     read_spikes: u64,
     write_spikes: u64,
     output_spikes: u64,
@@ -46,6 +50,7 @@ impl Crossbar {
             cells: vec![ReramCell::new(bits); rows * cols],
             faults: None,
             drift: None,
+            noise: None,
             read_spikes: 0,
             write_spikes: 0,
             output_spikes: 0,
@@ -82,6 +87,19 @@ impl Crossbar {
     /// The attached drift state, if any.
     pub fn drift_state(&self) -> Option<&DriftState> {
         self.drift.as_ref()
+    }
+
+    /// Attaches the analog non-ideality model (lognormal device spread,
+    /// IR drop, per-read noise). An [`ideal`](NoiseModel::ideal) model is
+    /// an exact no-op on every read. `seed` should already be
+    /// crossbar-qualified via [`crate::seedstream::crossbar_seed`].
+    pub fn attach_noise(&mut self, model: NoiseModel, seed: u64) {
+        self.noise = Some(NoiseState::new(self.rows, self.cols, model, seed));
+    }
+
+    /// The attached noise state, if any.
+    pub fn noise_state(&self) -> Option<&NoiseState> {
+        self.noise.as_ref()
     }
 
     /// Advances the degradation clock by `cycles` logical pipeline cycles
@@ -145,15 +163,22 @@ impl Crossbar {
     }
 
     /// Level the cell at `(row, col)` actually presents on a read: the
-    /// stored level, unless a fault pins it or age has drifted it.
+    /// stored level, unless a fault pins it, age has drifted it, or the
+    /// analog read path perturbs it. Noise applies *on top of* the
+    /// fault/drift-resolved level — a stuck cell's pinned conductance
+    /// still crosses the same noisy wires.
     pub fn effective_level(&self, row: usize, col: usize) -> u8 {
         let cell = &self.cells[row * self.cols + col];
-        match self.faults.as_ref().and_then(|f| f.get(row, col)) {
+        let base = match self.faults.as_ref().and_then(|f| f.get(row, col)) {
             Some(kind) => kind.effective_level(cell.max_level()),
             None => match self.drift.as_ref() {
                 Some(d) => d.effective_level(row, col, cell.level(), cell.max_level()),
                 None => cell.level(),
             },
+        };
+        match self.noise.as_ref() {
+            Some(n) => n.effective_level(row, col, base, cell.max_level()),
+            None => base,
         }
     }
 
@@ -172,9 +197,13 @@ impl Crossbar {
                 let p = self.cells[r * self.cols + c].program(lvl) as u64;
                 if p > 0 {
                     // A zero-pulse write leaves the physical cell untouched,
-                    // so its degradation clock keeps running.
+                    // so its degradation clock keeps running and its device
+                    // deviate stays.
                     if let Some(d) = self.drift.as_mut() {
                         d.note_program(r, c);
+                    }
+                    if let Some(n) = self.noise.as_mut() {
+                        n.note_program(r, c);
                     }
                 }
                 pulses += p;
@@ -240,6 +269,9 @@ impl Crossbar {
                             if let Some(d) = self.drift.as_mut() {
                                 d.note_program(r, c);
                             }
+                            if let Some(n) = self.noise.as_mut() {
+                                n.note_program(r, c);
+                            }
                         }
                         report.pulses += w.pulses as u64;
                         report.verify_reads += w.attempts as u64;
@@ -274,10 +306,12 @@ impl Crossbar {
         let trains: Vec<SpikeTrain> = driver.encode_vector(input);
         self.read_spikes += trains.iter().map(|t| t.spike_count() as u64).sum::<u64>();
 
-        // Reads see the *effective* levels — faults pin their cells and
-        // drift/disturb skews them on every access, so resolve the array
-        // once before streaming (disturb from this MVM lands afterwards).
-        let degraded = self.faults.is_some() || self.drift.is_some();
+        // Reads see the *effective* levels — faults pin their cells,
+        // drift/disturb skews them and analog noise perturbs every access,
+        // so resolve the array once before streaming (disturb and the
+        // read-epoch bump from this MVM land afterwards; within one MVM
+        // every slot integrates the same resolved conductances).
+        let degraded = self.faults.is_some() || self.drift.is_some() || self.noise.is_some();
         let eff: Option<Vec<u8>> = degraded.then(|| {
             (0..self.rows * self.cols)
                 .map(|i| self.effective_level(i / self.cols, i % self.cols))
@@ -312,6 +346,10 @@ impl Crossbar {
             for (r, train) in trains.iter().enumerate() {
                 d.note_row_reads(r, train.spike_count() as u64);
             }
+        }
+        // The next array read draws fresh read noise.
+        if let Some(n) = self.noise.as_mut() {
+            n.note_mvm();
         }
         out
     }
@@ -357,6 +395,9 @@ impl Crossbar {
                 if w.pulses > 0 {
                     if let Some(d) = self.drift.as_mut() {
                         d.note_program(r, c);
+                    }
+                    if let Some(n) = self.noise.as_mut() {
+                        n.note_program(r, c);
                     }
                 }
                 if !w.verified {
@@ -622,8 +663,106 @@ mod tests {
         Crossbar::new(2, 2, 4).attach_faults(FaultMap::pristine(3, 2));
     }
 
+    #[test]
+    fn noise_corrupts_mvm_deterministically() {
+        use crate::noise::NoiseModel;
+        let levels = vec![vec![9, 12], vec![15, 6]];
+        let strong = NoiseModel {
+            lrs_sigma: 0.5,
+            hrs_sigma: 0.8,
+            ir_drop: 0.3,
+            read_sigma: 0.1,
+            g_ratio: 0.05,
+        };
+        let mut a = Crossbar::new(2, 2, 4);
+        a.program(&levels);
+        a.attach_noise(strong, 7);
+        let mut b = a.clone();
+        let ya = a.mvm_spiked(&[3, 5], 4);
+        let yb = b.mvm_spiked(&[3, 5], 4);
+        assert_eq!(ya, yb, "same seed and read epoch must match bitwise");
+        assert_ne!(
+            ya,
+            reference_mvm(&levels, &[3, 5]),
+            "strong noise must perturb the product"
+        );
+        // A second MVM draws the next read epoch — the replayed pair still
+        // agrees with itself.
+        assert_eq!(a.mvm_spiked(&[3, 5], 4), b.mvm_spiked(&[3, 5], 4));
+    }
+
+    #[test]
+    fn ideal_noise_attach_leaves_mvm_bits_identical() {
+        use crate::noise::NoiseModel;
+        let levels = vec![vec![1, 14], vec![7, 3], vec![0, 9]];
+        let mut plain = Crossbar::new(3, 2, 4);
+        plain.program(&levels);
+        let mut noisy = plain.clone();
+        noisy.attach_noise(NoiseModel::ideal(), 99);
+        for input in [[5u32, 0, 11], [1, 1, 1], [65535, 0, 32768]] {
+            assert_eq!(
+                plain.mvm_spiked(&input, 16),
+                noisy.mvm_spiked(&input, 16),
+                "ideal noise must be an exact no-op"
+            );
+        }
+        assert_eq!(plain.read_spikes(), noisy.read_spikes());
+        assert_eq!(plain.output_spikes(), noisy.output_spikes());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Attaching `NoiseModel::ideal()` leaves `mvm_spiked` output bits
+        /// identical to the no-model path on random crossbars — the exact
+        /// no-op contract of the noise layer.
+        #[test]
+        fn ideal_noise_is_noop_on_random_crossbars(
+            rows in 1usize..8,
+            cols in 1usize..8,
+            seed in 0u64..1000,
+        ) {
+            use crate::noise::NoiseModel;
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let levels: Vec<Vec<u8>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.random_range(0u8..16)).collect())
+                .collect();
+            let input: Vec<u32> = (0..rows).map(|_| rng.random_range(0u32..65536)).collect();
+            let mut plain = Crossbar::new(rows, cols, 4);
+            plain.program(&levels);
+            let mut noisy = plain.clone();
+            noisy.attach_noise(NoiseModel::ideal(), seed);
+            prop_assert_eq!(noisy.mvm_spiked(&input, 16), plain.mvm_spiked(&input, 16));
+        }
+
+        /// Same seed ⇒ bitwise-identical noisy reads across repeated
+        /// replays, at any noise strength.
+        #[test]
+        fn noisy_reads_replay_bitwise(
+            rows in 1usize..6,
+            cols in 1usize..6,
+            seed in 0u64..500,
+            strength in 0.1f64..3.0,
+        ) {
+            use crate::noise::NoiseModel;
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let levels: Vec<Vec<u8>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.random_range(0u8..16)).collect())
+                .collect();
+            let input: Vec<u32> = (0..rows).map(|_| rng.random_range(0u32..256)).collect();
+            let build = || {
+                let mut x = Crossbar::new(rows, cols, 4);
+                x.program(&levels);
+                x.attach_noise(NoiseModel::with_strength(strength), seed);
+                x
+            };
+            let (mut a, mut b) = (build(), build());
+            for _ in 0..3 {
+                prop_assert_eq!(a.mvm_spiked(&input, 8), b.mvm_spiked(&input, 8));
+            }
+        }
 
         /// The analog spike path computes exactly the integer MVM.
         #[test]

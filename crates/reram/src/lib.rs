@@ -28,6 +28,10 @@
 //! * [`drift`] — time-dependent degradation: power-law retention drift and
 //!   read-disturb accumulation, advanced in logical pipeline cycles and
 //!   countered by the crossbar-level scrub pass.
+//! * [`noise`] — analog read-path non-idealities: lognormal LRS/HRS
+//!   conductance spread, wire-resistance IR drop across the array
+//!   geometry, and per-read Gaussian noise, all seeded through the same
+//!   stream discipline so noisy campaigns replay bitwise.
 //! * [`seedstream`] — the documented `(seed, crossbar, row, col, epoch)`
 //!   per-cell random-stream convention shared by `fault`, `variation` and
 //!   `drift` so campaigns reproduce at any thread count.
@@ -56,6 +60,7 @@ pub mod drift;
 pub mod energy;
 pub mod fault;
 pub mod integrate_fire;
+pub mod noise;
 pub mod partition;
 pub mod seedstream;
 pub mod spike;
@@ -70,6 +75,7 @@ pub use drift::{DriftModel, DriftState};
 pub use energy::{EnergyCounter, ReramParams};
 pub use fault::{FaultKind, FaultMap, FaultModel, ProgramReport, UnrecoverableCell, VerifyPolicy};
 pub use integrate_fire::IntegrateFire;
+pub use noise::{NoiseModel, NoiseState};
 pub use partition::tile_grid;
 pub use subarray::{MorphableSubarray, SubarrayMode};
 pub use variation::VariationModel;

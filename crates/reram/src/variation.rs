@@ -32,13 +32,11 @@ impl VariationModel {
         }
     }
 
-    /// A variation-only model with the given write σ (in levels).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sigma` is negative or not finite.
+    /// A variation-only model with the given write σ (in levels). A
+    /// negative or non-finite σ is a caller bug (debug builds assert); in
+    /// release the sampling degrades gracefully (|σ| behaviour).
     pub fn with_sigma(sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
+        debug_assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
         VariationModel {
             write_sigma: sigma,
             ..Self::ideal()

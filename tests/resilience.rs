@@ -11,7 +11,7 @@ use pipelayer_nn::data::SyntheticMnist;
 use pipelayer_nn::serialize::{load_checkpoint, save_checkpoint, save_params};
 use pipelayer_nn::zoo;
 use pipelayer_nn::CheckpointState;
-use pipelayer_reram::{DriftModel, ReramMatrix, ReramParams, VerifyPolicy};
+use pipelayer_reram::{DriftModel, NoiseModel, ReramMatrix, ReramParams, VerifyPolicy};
 use pipelayer_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -26,6 +26,7 @@ use rand::{RngExt as _, SeedableRng};
 fn scrub_off_is_bit_identical_to_pre_scrub_baselines() {
     let cfg = PipeLayerConfig::default();
     assert!(!cfg.scrub_enabled(), "scrub must default to off");
+    assert!(!cfg.noise_enabled(), "analog noise must default to off");
     let model = EnduranceModel::research_grade();
 
     let cases: [(&str, pipelayer_nn::NetSpec, u64, u64); 3] = [
@@ -154,6 +155,48 @@ fn drifted_weight_regression_pin() {
 }
 
 const PINNED_DRIFTED_W0: u32 = 0xbf18ddff;
+
+/// Attaching [`NoiseModel::ideal`] must leave a matrix read BIT-identical
+/// to never attaching noise at all — the no-op gate the paper-figure pins
+/// above rely on (the default config carries the ideal model).
+#[test]
+fn ideal_noise_is_bit_identical_to_no_noise() {
+    let w: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) / 10.0).collect();
+    let plain = ReramMatrix::program(&w, 4, 4, &ReramParams::default());
+    let mut noisy = ReramMatrix::program(&w, 4, 4, &ReramParams::default());
+    noisy.attach_noise(NoiseModel::ideal(), 0xA11A);
+    let a: Vec<u32> = plain.read().iter().map(|v| v.to_bits()).collect();
+    let b: Vec<u32> = noisy.read().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(a, b, "ideal noise model changed a read");
+}
+
+/// Pins one noisy read so the noise model's `(seed, crossbar, row, col,
+/// epoch)` derivation chain can never silently change — the analogue of
+/// [`drifted_weight_regression_pin`] for the non-ideality model.
+#[test]
+fn noisy_weight_regression_pin() {
+    let w: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) / 10.0).collect();
+    let mut m = ReramMatrix::program(&w, 4, 4, &ReramParams::default());
+    m.attach_noise(NoiseModel::with_strength(2.0), 0xA11A);
+    let first = m.read();
+    assert_ne!(w, first.clone(), "strength-2 noise must perturb some read");
+    let mut m2 = ReramMatrix::program(&w, 4, 4, &ReramParams::default());
+    m2.attach_noise(NoiseModel::with_strength(2.0), 0xA11A);
+    assert_eq!(
+        first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        m2.read().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "same seed must replay the same noisy read"
+    );
+    assert_eq!(
+        first[0].to_bits(),
+        PINNED_NOISY_W0,
+        "noisy read changed: seed derivation is no longer stable ({} bits {:#010x})",
+        first[0],
+        first[0].to_bits()
+    );
+}
+
+const PINNED_NOISY_W0: u32 = 0xbf64b1ca;
 
 /// A PLW2 blob carrying a full training state (cursor, RNG seed) over the
 /// smallest zoo network, shared by the decode-hardening properties below.
