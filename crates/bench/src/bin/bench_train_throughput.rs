@@ -23,6 +23,8 @@ const THREAD_ARMS: [usize; 4] = [1, 2, 4, 8];
 
 struct Arm {
     threads: usize,
+    effective_threads: usize,
+    clamped: bool,
     seconds: f64,
     images_per_sec: f64,
     epoch_losses: Vec<f32>,
@@ -62,11 +64,17 @@ fn main() {
             lr: 0.1,
             threads,
         });
+        // Record the oversubscription clamp: on a small host the 8-thread
+        // arm may actually run with fewer workers, and the JSON must say so
+        // or its "speedup" column misleads.
+        let resolution = trainer.config().resolve_threads();
         let t0 = Instant::now();
         let report = trainer.fit(&mut net, &data);
         let seconds = t0.elapsed().as_secs_f64();
         arms.push(Arm {
             threads,
+            effective_threads: resolution.effective,
+            clamped: resolution.clamped,
             seconds,
             images_per_sec: (train_n * epochs) as f64 / seconds,
             epoch_losses: report.epoch_losses,
@@ -90,12 +98,24 @@ fn main() {
 
     let mut table = Table::new(
         "Training throughput by worker-thread count".to_string(),
-        &["threads", "seconds", "img/s", "speedup", "final loss"],
+        &[
+            "threads",
+            "effective",
+            "seconds",
+            "img/s",
+            "speedup",
+            "final loss",
+        ],
     );
     let base = arms[0].images_per_sec;
     for arm in &arms {
         table.row(vec![
             arm.threads.to_string(),
+            if arm.clamped {
+                format!("{} (clamped)", arm.effective_threads)
+            } else {
+                arm.effective_threads.to_string()
+            },
             fmt_f(arm.seconds, 3),
             fmt_f(arm.images_per_sec, 1),
             format!("{}x", fmt_f(arm.images_per_sec / base, 2)),
@@ -131,8 +151,10 @@ fn main() {
             .map(|l| json_escape_free_number(f64::from(*l)))
             .collect();
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"seconds\": {}, \"images_per_sec\": {}, \"speedup_vs_serial\": {}, \"epoch_losses\": [{}]}}{}\n",
+            "    {{\"requested_threads\": {}, \"effective_threads\": {}, \"clamped\": {}, \"seconds\": {}, \"images_per_sec\": {}, \"speedup_vs_serial\": {}, \"epoch_losses\": [{}]}}{}\n",
             arm.threads,
+            arm.effective_threads,
+            arm.clamped,
             json_escape_free_number(arm.seconds),
             json_escape_free_number(arm.images_per_sec),
             json_escape_free_number(arm.images_per_sec / base),

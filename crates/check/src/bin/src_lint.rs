@@ -19,6 +19,11 @@
 //! * **Lossy numeric `as` casts** (`as f32`, `as u8`/`u16`/`u32`,
 //!   `as i8`/`i16`/`i32`): silently truncate or round; new sites should use
 //!   `From`/`TryFrom` or justify themselves into the allowlist.
+//! * **Raw storage indexing in `crates/reram/`** (`.slots[`, `.cells[`,
+//!   `.words[`): direct indexing into the device-model storage vectors is
+//!   how the `input_bits > 32` out-of-bounds panic entered
+//!   `SpikeTrain::fires`; new code must go through the bounds-explicit
+//!   accessors instead. Existing sites are allowlisted, shrink-only.
 //!
 //! Test modules (`#[cfg(test)]`), comments and doc lines are exempt.
 //!
@@ -41,91 +46,62 @@ const ALLOWLIST: &str = "lint-allow.txt";
 #[derive(Debug, Clone)]
 struct Pattern {
     /// Allowlist key (`unwrap`, `expect`, `panic`, `assert`, `hashmap`,
-    /// `cast`, `wallclock`).
+    /// `cast`, `wallclock`, `rawindex`).
     name: &'static str,
     /// Exact substring to search for.
     needle: String,
     /// Whether the character before a match must not be `[A-Za-z0-9_]`.
     word_start: bool,
+    /// When set, the pattern only applies to files whose workspace-relative
+    /// path starts with this prefix (e.g. `crates/reram/`).
+    scope: Option<&'static str>,
+}
+
+/// An everywhere-applicable pattern (no path scope).
+fn pat(name: &'static str, needle: String, word_start: bool) -> Pattern {
+    Pattern {
+        name,
+        needle,
+        word_start,
+        scope: None,
+    }
+}
+
+/// A raw-index pattern on the ReRAM crate's internal storage vectors
+/// (`.slots[`, `.cells[`, `.words[`): direct indexing is how the
+/// `input_bits > 32` out-of-bounds panic slipped into `SpikeTrain::fires` —
+/// accessors with explicit bounds behaviour (`get`, `slot_words`,
+/// `col_words`, `level`) are the sanctioned surface. Existing sites are
+/// allowlisted (shrink-only).
+fn raw_index(field: String) -> Pattern {
+    Pattern {
+        name: "rawindex",
+        needle: [field.as_str(), "["].concat(),
+        word_start: false,
+        scope: Some("crates/reram/"),
+    }
 }
 
 fn patterns() -> Vec<Pattern> {
     vec![
-        Pattern {
-            name: "unwrap",
-            needle: ["unwrap", "()"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "expect",
-            needle: [".exp", "ect("].concat(),
-            word_start: false,
-        },
-        Pattern {
-            name: "panic",
-            needle: ["pan", "ic!("].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "assert",
-            needle: ["ass", "ert!("].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "hashmap",
-            needle: ["Hash", "Map"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "hashmap",
-            needle: ["Hash", "Set"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "wallclock",
-            needle: ["Inst", "ant::now("].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "wallclock",
-            needle: ["System", "Time::now("].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "cast",
-            needle: ["as", " f32"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "cast",
-            needle: ["as", " u8"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "cast",
-            needle: ["as", " u16"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "cast",
-            needle: ["as", " u32"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "cast",
-            needle: ["as", " i8"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "cast",
-            needle: ["as", " i16"].concat(),
-            word_start: true,
-        },
-        Pattern {
-            name: "cast",
-            needle: ["as", " i32"].concat(),
-            word_start: true,
-        },
+        pat("unwrap", ["unwrap", "()"].concat(), true),
+        pat("expect", [".exp", "ect("].concat(), false),
+        pat("panic", ["pan", "ic!("].concat(), true),
+        pat("assert", ["ass", "ert!("].concat(), true),
+        pat("hashmap", ["Hash", "Map"].concat(), true),
+        pat("hashmap", ["Hash", "Set"].concat(), true),
+        pat("wallclock", ["Inst", "ant::now("].concat(), true),
+        pat("wallclock", ["System", "Time::now("].concat(), true),
+        pat("cast", ["as", " f32"].concat(), true),
+        pat("cast", ["as", " u8"].concat(), true),
+        pat("cast", ["as", " u16"].concat(), true),
+        pat("cast", ["as", " u32"].concat(), true),
+        pat("cast", ["as", " i8"].concat(), true),
+        pat("cast", ["as", " i16"].concat(), true),
+        pat("cast", ["as", " i32"].concat(), true),
+        raw_index([".slo", "ts"].concat()),
+        raw_index([".cel", "ls"].concat()),
+        raw_index([".wor", "ds"].concat()),
     ]
 }
 
@@ -377,8 +353,13 @@ fn run() -> Result<bool, String> {
     for path in source_files(&root)? {
         let text = fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let report = scan_file(&text, &pats);
         let relpath = rel(&root, &path);
+        let file_pats: Vec<Pattern> = pats
+            .iter()
+            .filter(|p| p.scope.is_none_or(|s| relpath.starts_with(s)))
+            .cloned()
+            .collect();
+        let report = scan_file(&text, &file_pats);
         for (name, n) in report.counts {
             counts.insert((relpath.clone(), name.to_string()), n);
             *totals.entry(name).or_insert(0) += n;
@@ -537,6 +518,26 @@ let cycles = clock.now(); // a simulated clock is fine
 ";
         let report = scan_file(text, &pats);
         assert_eq!(report.counts.get("wallclock"), Some(&2));
+    }
+
+    #[test]
+    fn raw_reram_indexing_is_flagged_and_scoped() {
+        let pats = patterns();
+        let text =
+            "fn f(&self) { let x = self.cells[3]; let w = &self.words[0..2]; self.slots[i] = true; }\n";
+        let report = scan_file(text, &pats);
+        assert_eq!(report.counts.get("rawindex"), Some(&3));
+        // The rule is scoped to the ReRAM crate; `self.slots[...]` in, say,
+        // the core crate's buffers is someone else's business.
+        let scoped: Vec<_> = pats.iter().filter(|p| p.name == "rawindex").collect();
+        assert_eq!(scoped.len(), 3);
+        let applies = |rel: &str| {
+            scoped
+                .iter()
+                .any(|p| p.scope.is_none_or(|s| rel.starts_with(s)))
+        };
+        assert!(applies("crates/reram/src/spike.rs"));
+        assert!(!applies("crates/core/src/buffers.rs"));
     }
 
     #[test]

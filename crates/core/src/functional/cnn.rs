@@ -66,13 +66,20 @@ impl ConvStage {
         let p_count = ho * wo;
 
         let mut out = Tensor::zeros(&[self.c_out, ho, wo]);
-        for p in 0..p_count {
-            // The Fig. 4 window loop: one patch vector per array read phase.
-            let mut x: Vec<f32> = (0..self.k * self.k * self.c_in)
-                .map(|c| patches[[p, c]])
-                .collect();
-            x.push(1.0); // bias input
-            let y = self.forward.matvec(&x);
+        // The Fig. 4 window loop, fed as one multi-patch batch: every
+        // patch is still its own array read phase (identical bits and
+        // spike accounting), but the arrays resolve their bit-plane
+        // decomposition once for the whole image.
+        let xs: Vec<Vec<f32>> = (0..p_count)
+            .map(|p| {
+                let mut x: Vec<f32> = (0..self.k * self.k * self.c_in)
+                    .map(|c| patches[[p, c]])
+                    .collect();
+                x.push(1.0); // bias input
+                x
+            })
+            .collect();
+        for (p, y) in self.forward.matvec_batch(&xs).into_iter().enumerate() {
             for (co, &v) in y.iter().enumerate() {
                 // Activation component: subtractor output through ReLU LUT.
                 out[[co, p / wo, p % wo]] = if self.relu { v.max(0.0) } else { v };
@@ -125,18 +132,19 @@ impl ConvStage {
             "backward geometry mismatch"
         );
         let mut dx = Tensor::zeros(&[self.c_in, h_in, w_in]);
-        for p in 0..h_in * w_in {
-            let x: Vec<f32> = (0..self.k * self.k * self.c_out)
-                .map(|c| dpatches[[p, c]])
-                .collect();
-            // Hardware semantics, not a numeric shortcut: an all-zero
-            // patch drives no input spikes, so the array read phase never
-            // fires (and `read_spikes` stays untouched). This models the
-            // crossbar, unlike the software zero-skips removed elsewhere.
-            if x.iter().all(|&v| v == 0.0) {
-                continue;
-            }
-            let y = self.backward.matvec(&x);
+        // Batched error convolution over the `A_l2` arrays. Hardware
+        // semantics are preserved inside `matvec`: an all-zero patch
+        // drives no input spikes, so its read phase never fires and
+        // `read_spikes` stays untouched — the crossbar model's behaviour,
+        // unlike the software zero-skips removed elsewhere.
+        let xs: Vec<Vec<f32>> = (0..h_in * w_in)
+            .map(|p| {
+                (0..self.k * self.k * self.c_out)
+                    .map(|c| dpatches[[p, c]])
+                    .collect()
+            })
+            .collect();
+        for (p, y) in self.backward.matvec_batch(&xs).into_iter().enumerate() {
             for (ci, &v) in y.iter().enumerate() {
                 dx[[ci, p / w_in, p % w_in]] = v;
             }

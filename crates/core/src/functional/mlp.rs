@@ -149,6 +149,21 @@ impl ReramMlpLayer {
     }
 }
 
+/// Shape prologue shared by both batch-training schedules.
+///
+/// # Panics
+///
+/// Panics on an empty batch or an image/label length mismatch.
+fn check_batch(images: &[Tensor], labels: &[usize]) {
+    assert!(!images.is_empty(), "empty batch");
+    assert_eq!(images.len(), labels.len(), "length mismatch");
+}
+
+/// Mean loss over a batch of `n` samples.
+fn mean_loss(total: f32, n: usize) -> f32 {
+    total / n as f32
+}
+
 /// Drops the bias row and transposes: `[out×(in+1)] → [in×out]`.
 fn transpose_no_bias(w: &[f32], n_out: usize, n_in: usize) -> Vec<f32> {
     let mut wt = vec![0.0f32; n_in * n_out];
@@ -465,17 +480,108 @@ impl ReramMlp {
     /// weights from the arrays, subtract the averaged partial derivatives,
     /// write back (both forward and reordered copies). Returns mean loss.
     ///
+    /// Samples are fed layer-major: every layer sees the whole batch as
+    /// one [`ReramMatrix::matvec_batch`] call (forward and error
+    /// backward), so each array's bit-plane decomposition is resolved
+    /// once per batch instead of once per sample. Losses and gradients
+    /// accumulate in sample order, so on arrays whose reads don't perturb
+    /// the device state (ideal, faulted, or pure-retention drift) the
+    /// result is bitwise identical to the per-sample reference
+    /// [`train_batch_scalar`](Self::train_batch_scalar) — differentially
+    /// tested. With per-read noise or read disturb the MVMs execute in a
+    /// different (documented) order, so those trajectories are equally
+    /// valid but not bit-comparable to the per-sample schedule.
+    ///
     /// # Panics
     ///
     /// Panics on empty or mismatched batches.
     pub fn train_batch(&mut self, images: &[Tensor], labels: &[usize], lr: f32) -> f32 {
-        assert!(!images.is_empty(), "empty batch");
-        assert_eq!(images.len(), labels.len(), "length mismatch");
+        check_batch(images, labels);
+
+        // Forward, layer-major: one packed multi-image kernel per layer.
+        let mut vs: Vec<Vec<f32>> = images.iter().map(|t| t.as_slice().to_vec()).collect();
+        let mut cached_ins: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.layers.len());
+        let mut cached_outs: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            let with_bias: Vec<Vec<f32>> = vs
+                .into_iter()
+                .map(|mut v| {
+                    assert_eq!(v.len(), layer.n_in, "input width mismatch");
+                    v.push(1.0);
+                    v
+                })
+                .collect();
+            let mut outs = layer.forward.matvec_batch(&with_bias);
+            if layer.relu {
+                for out in &mut outs {
+                    for o in out.iter_mut() {
+                        *o = o.max(0.0); // activation component LUT
+                    }
+                }
+            }
+            cached_ins.push(with_bias);
+            vs = outs.clone();
+            cached_outs.push(outs);
+        }
+
+        // Output error per sample, in sample order.
+        let mut total = 0.0;
+        let mut deltas: Vec<Vec<f32>> = Vec::with_capacity(images.len());
+        for (out, &label) in vs.into_iter().zip(labels) {
+            let out_t = Tensor::from_vec(&[out.len()], out);
+            let (loss, delta_t) = self.loss.loss_and_delta(&out_t, label);
+            total += loss;
+            deltas.push(delta_t.into_vec());
+        }
+
+        // Backward, layer-major: ReLU masking and ∂W accumulation run per
+        // sample (same order as the scalar reference), then one batched
+        // MVM through the A_l2 arrays propagates every delta at once.
+        for li in (0..self.layers.len()).rev() {
+            let layer = &mut self.layers[li];
+            for (s, delta) in deltas.iter_mut().enumerate() {
+                if layer.relu {
+                    for (d, &o) in delta.iter_mut().zip(&cached_outs[li][s]) {
+                        if o <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                }
+                ops::outer_acc(&mut layer.grad_acc, delta, &cached_ins[li][s]);
+            }
+            if li > 0 {
+                deltas = layer.backward.matvec_batch(&deltas);
+            }
+        }
+
+        self.apply_update(images.len(), lr);
+        mean_loss(total, images.len())
+    }
+
+    /// Per-sample reference for [`train_batch`](Self::train_batch): the
+    /// original one-matvec-per-sample schedule, identical arithmetic in
+    /// identical order. Kept (and pinned by differential tests) so the
+    /// batched feed always has a scalar path to be checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched batches.
+    pub fn train_batch_scalar(&mut self, images: &[Tensor], labels: &[usize], lr: f32) -> f32 {
+        check_batch(images, labels);
         let mut total = 0.0;
         for (img, &label) in images.iter().zip(labels) {
             total += self.train_sample(img.as_slice(), label);
         }
-        let scale = lr / images.len() as f32;
+        self.apply_update(images.len(), lr);
+        mean_loss(total, images.len())
+    }
+
+    /// The Fig. 14(b) update + degradation tick shared by both batch
+    /// schedules: read old weights, subtract the averaged partials, write
+    /// back (verified when fault tolerance is on), clear the buffers and
+    /// advance the clock by one cycle per image.
+    fn apply_update(&mut self, batch_len: usize, lr: f32) {
+        let scale = lr / batch_len as f32;
         for layer in &mut self.layers {
             let mut w = layer.forward.read(); // old weights from the arrays
             for (wi, g) in w.iter_mut().zip(&layer.grad_acc) {
@@ -500,8 +606,7 @@ impl ReramMlp {
         }
         // One processed image = one logical pipeline cycle: tick the
         // degradation clock and run any scrub passes that came due.
-        self.advance_cycles(images.len() as u64);
-        total / images.len() as f32
+        self.advance_cycles(batch_len as u64);
     }
 
     /// Advances the degradation clock by `cycles` logical cycles (one per
@@ -757,6 +862,44 @@ mod tests {
             after > before + 0.15 && after > 0.4,
             "noisy ReRAM training failed: {before} -> {after}"
         );
+    }
+
+    /// The layer-major batched feed must reproduce the per-sample
+    /// reference bit-for-bit on arrays whose reads don't perturb device
+    /// state — here on ideal arrays and on fault-ridden ones (stuck cells
+    /// are read-order-independent).
+    #[test]
+    fn batched_feed_matches_scalar_reference_bitwise() {
+        let (tr, trl, _, _) = small_task();
+        let builds: [fn() -> ReramMlp; 2] = [
+            || ReramMlp::new(&[49, 16, 10], &ReramParams::default(), 5),
+            || {
+                ReramMlp::with_faults(
+                    &[49, 16, 10],
+                    &ReramParams::default(),
+                    5,
+                    &FaultModel::with_stuck_rate(1e-3),
+                )
+            },
+        ];
+        for build in builds {
+            let mut batched = build();
+            let mut scalar = build();
+            for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)).take(4) {
+                let lb = batched.train_batch(imgs, labs, 0.3);
+                let ls = scalar.train_batch_scalar(imgs, labs, 0.3);
+                assert_eq!(lb.to_bits(), ls.to_bits(), "loss bits diverged");
+            }
+            for li in 0..batched.depth() {
+                let wb = batched.layer_weights(li);
+                let ws = scalar.layer_weights(li);
+                for (a, b) in wb.iter().zip(&ws) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "weight bits diverged");
+                }
+            }
+            assert_eq!(batched.read_spikes(), scalar.read_spikes());
+            assert_eq!(batched.write_spikes(), scalar.write_spikes());
+        }
     }
 
     #[test]

@@ -32,9 +32,27 @@ pub struct TrainConfig {
     pub lr: f32,
     /// Worker threads for data-parallel batch execution. `0` means auto:
     /// the `PIPELAYER_THREADS` environment variable if set, otherwise the
-    /// machine's available parallelism. Any thread count produces bitwise
-    /// identical training results (the reduction order is fixed per sample).
+    /// machine's available parallelism. Requests beyond the machine's
+    /// available parallelism are clamped down — extra workers only add
+    /// scheduling overhead, never throughput. Any thread count produces
+    /// bitwise identical training results (the reduction order is fixed per
+    /// sample), so the clamp cannot change a result, only save the waste.
     pub threads: usize,
+}
+
+/// How a [`TrainConfig`]'s thread request resolved — what was asked for,
+/// what the trainer will actually spawn, and whether the oversubscription
+/// clamp fired. Benchmarks record this so a JSON reader can tell a
+/// "requested 8, ran 8" arm from a "requested 8, ran 4 (clamped)" arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadResolution {
+    /// The pre-clamp request: explicit `threads`, else `PIPELAYER_THREADS`,
+    /// else the machine's available parallelism.
+    pub requested: usize,
+    /// The worker count training actually uses (`min(requested, machine)`).
+    pub effective: usize,
+    /// `true` iff the request exceeded the machine and was clamped.
+    pub clamped: bool,
 }
 
 impl Default for TrainConfig {
@@ -51,21 +69,35 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// The concrete worker-thread count `fit` will use: an explicit
     /// `threads` value wins, then `PIPELAYER_THREADS`, then the machine's
-    /// available parallelism.
+    /// available parallelism — and the winner is clamped to the machine's
+    /// available parallelism (oversubscribing adds context-switch overhead
+    /// without adding compute, and cannot change results because training is
+    /// bitwise identical at any thread count).
     pub fn resolved_threads(&self) -> usize {
-        if self.threads > 0 {
-            return self.threads;
-        }
-        if let Some(n) = std::env::var("PIPELAYER_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
-            return n;
-        }
-        std::thread::available_parallelism()
+        self.resolve_threads().effective
+    }
+
+    /// Like [`resolved_threads`](Self::resolved_threads), but also reports
+    /// what was requested and whether the oversubscription clamp fired, so
+    /// benchmarks can record the decision.
+    pub fn resolve_threads(&self) -> ThreadResolution {
+        let machine = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1);
+        let requested = if self.threads > 0 {
+            self.threads
+        } else {
+            std::env::var("PIPELAYER_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(machine)
+        };
+        ThreadResolution {
+            requested,
+            effective: requested.min(machine),
+            clamped: requested > machine,
+        }
     }
 }
 
@@ -617,13 +649,39 @@ mod tests {
 
     #[test]
     fn resolved_threads_prefers_explicit_value() {
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let cfg = TrainConfig {
             threads: 3,
             ..Default::default()
         };
-        assert_eq!(cfg.resolved_threads(), 3);
+        assert_eq!(cfg.resolved_threads(), 3.min(machine));
         let auto = TrainConfig::default();
         assert!(auto.resolved_threads() >= 1);
+    }
+
+    /// Satellite regression: a request far beyond the machine's parallelism
+    /// must clamp down instead of oversubscribing, and the resolution must
+    /// say so. Auto (`threads: 0`) resolves to exactly the machine count and
+    /// is never flagged as clamped.
+    #[test]
+    fn resolved_threads_clamps_oversubscription() {
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let greedy = TrainConfig {
+            threads: machine * 64,
+            ..Default::default()
+        };
+        let r = greedy.resolve_threads();
+        assert_eq!(r.requested, machine * 64);
+        assert_eq!(r.effective, machine, "oversubscribed request must clamp");
+        assert!(r.clamped);
+
+        let auto = TrainConfig::default().resolve_threads();
+        assert_eq!(auto.effective, auto.requested.min(machine));
+        assert!(auto.effective >= 1);
     }
 
     #[test]

@@ -417,6 +417,21 @@ impl ReramMatrix {
             .collect()
     }
 
+    /// Batched [`matvec`](Self::matvec): one call per *batch* of input
+    /// vectors. Semantics are exactly `xs.iter().map(|x| self.matvec(x))`
+    /// — per-sample quantization, phase splitting, spike accounting and
+    /// disturb/noise-epoch ordering are all identical — but because no
+    /// write lands between samples, every member crossbar resolves its
+    /// bit-plane decomposition once and reuses it across the whole batch.
+    /// This is the multi-image kernel the functional training paths feed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from `in_dim()`.
+    pub fn matvec_batch(&mut self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        xs.iter().map(|x| self.matvec(x)).collect()
+    }
+
     /// Total input (read) spikes across all member crossbars.
     pub fn read_spikes(&self) -> u64 {
         self.groups
@@ -558,6 +573,25 @@ mod tests {
         for v in &repaired {
             assert!((v - 0.75).abs() < 2.0 * m.weight_scale(), "{repaired:?}");
         }
+    }
+
+    #[test]
+    fn matvec_batch_matches_sequential_bitwise() {
+        let w = vec![0.5f32, -0.25, 0.125, 1.0, -1.0, 0.0];
+        let xs: Vec<Vec<f32>> = vec![
+            vec![1.0, -2.0, 0.5],
+            vec![0.0, 0.0, 0.0],
+            vec![-0.125, 3.0, 7.5],
+        ];
+        let mut seq = ReramMatrix::program(&w, 2, 3, &ReramParams::default());
+        seq.attach_noise(NoiseModel::with_strength(1.0), 17);
+        let mut bat = seq.clone();
+        let want: Vec<Vec<f32>> = xs.iter().map(|x| seq.matvec(x)).collect();
+        let got = bat.matvec_batch(&xs);
+        for (g, w_) in got.iter().flatten().zip(want.iter().flatten()) {
+            assert_eq!(g.to_bits(), w_.to_bits());
+        }
+        assert_eq!(bat.read_spikes(), seq.read_spikes());
     }
 
     proptest! {

@@ -6,6 +6,7 @@ use crate::drift::{DriftModel, DriftState};
 use crate::fault::{FaultMap, ProgramReport, UnrecoverableCell, VerifyPolicy};
 use crate::integrate_fire::IntegrateFire;
 use crate::noise::{NoiseModel, NoiseState};
+use crate::packed::{self, BitPlanes, PackedSpikes};
 use crate::spike::{SpikeDriver, SpikeTrain};
 use rand::Rng;
 
@@ -31,6 +32,11 @@ pub struct Crossbar {
     /// Analog read-path non-idealities (lognormal spread, IR drop, read
     /// noise); `None` for a noiseless array.
     noise: Option<NoiseState>,
+    /// Bit-plane decomposition of the levels the *next* read will see,
+    /// rebuilt lazily by `mvm_spiked` and dropped by anything that can
+    /// change a read: programming, scrub, fault repair, clock advance,
+    /// model attachment, read disturb, or a fresh per-read noise epoch.
+    plane_cache: Option<BitPlanes>,
     read_spikes: u64,
     write_spikes: u64,
     output_spikes: u64,
@@ -51,6 +57,7 @@ impl Crossbar {
             faults: None,
             drift: None,
             noise: None,
+            plane_cache: None,
             read_spikes: 0,
             write_spikes: 0,
             output_spikes: 0,
@@ -70,6 +77,7 @@ impl Crossbar {
             "fault map geometry mismatch"
         );
         self.faults = Some(map);
+        self.plane_cache = None;
     }
 
     /// The attached fault map, if any.
@@ -82,6 +90,7 @@ impl Crossbar {
     /// crossbar-qualified via [`crate::seedstream::crossbar_seed`].
     pub fn attach_drift(&mut self, model: DriftModel, seed: u64) {
         self.drift = Some(DriftState::new(self.rows, self.cols, model, seed));
+        self.plane_cache = None;
     }
 
     /// The attached drift state, if any.
@@ -95,6 +104,7 @@ impl Crossbar {
     /// crossbar-qualified via [`crate::seedstream::crossbar_seed`].
     pub fn attach_noise(&mut self, model: NoiseModel, seed: u64) {
         self.noise = Some(NoiseState::new(self.rows, self.cols, model, seed));
+        self.plane_cache = None;
     }
 
     /// The attached noise state, if any.
@@ -107,6 +117,7 @@ impl Crossbar {
     pub fn advance_cycles(&mut self, cycles: u64) {
         if let Some(d) = self.drift.as_mut() {
             d.advance(cycles);
+            self.plane_cache = None;
         }
     }
 
@@ -138,6 +149,7 @@ impl Crossbar {
     pub fn clear_fault_col(&mut self, col: usize) {
         if let Some(f) = self.faults.as_mut() {
             f.clear_col(col);
+            self.plane_cache = None;
         }
     }
 
@@ -210,6 +222,7 @@ impl Crossbar {
             }
         }
         self.write_spikes += pulses;
+        self.plane_cache = None;
         pulses
     }
 
@@ -289,7 +302,37 @@ impl Crossbar {
         }
         self.write_spikes += report.pulses;
         self.read_spikes += report.verify_reads;
+        self.plane_cache = None;
         report
+    }
+
+    /// Bit-plane decomposition of the levels the next read will present —
+    /// effective levels when any non-ideality is attached, raw stored
+    /// levels otherwise.
+    fn build_planes(&self) -> BitPlanes {
+        let degraded = self.faults.is_some() || self.drift.is_some() || self.noise.is_some();
+        if degraded {
+            BitPlanes::pack(self.rows, self.cols, self.cell_bits(), |r, c| {
+                self.effective_level(r, c)
+            })
+        } else {
+            BitPlanes::pack(self.rows, self.cols, self.cell_bits(), |r, c| {
+                self.cells[r * self.cols + c].level()
+            })
+        }
+    }
+
+    /// Whether the bookkeeping at the *end* of an MVM (read disturb,
+    /// read-noise epoch bump) can change what the next read sees — if so
+    /// the plane cache must not survive the call.
+    fn reads_perturb_levels(&self) -> bool {
+        self.drift
+            .as_ref()
+            .is_some_and(|d| d.model().disturb_per_level > 0)
+            || self
+                .noise
+                .as_ref()
+                .is_some_and(|n| n.model().read_sigma > 0.0)
     }
 
     /// In-situ MVM via the spike path: encodes `input` with an `input_bits`
@@ -297,20 +340,87 @@ impl Crossbar {
     /// weighted bitline currents and fires. Returns the exact products
     /// `out[c] = Σ_r input[r]·level[r][c]`.
     ///
+    /// This is the packed hot path: spike trains are packed 64 word lines
+    /// per `u64` per time slot and the (effective) conductances are
+    /// bit-plane decomposed, so each slot×plane partial sum is a popcount
+    /// and a shift — bitwise identical to [`mvm_spiked_scalar`]
+    /// (differentially tested), an order of magnitude fewer operations.
+    /// The bit-plane decomposition is cached across calls and rebuilt only
+    /// when something can change a read (writes, scrub, repair, clock
+    /// advance, read disturb, per-read noise).
+    ///
+    /// A driver resolution above 32 clamps to 32 slots, exactly like the
+    /// scalar path's [`SpikeDriver`].
+    ///
     /// # Panics
     ///
-    /// Panics if `input.len() != rows` or a value exceeds `input_bits`.
+    /// Panics if `input.len() != rows`; a value exceeding `input_bits` is
+    /// debug-checked (release injects the low bits, like the driver).
+    ///
+    /// [`mvm_spiked_scalar`]: Self::mvm_spiked_scalar
     pub fn mvm_spiked(&mut self, input: &[u32], input_bits: u8) -> Vec<u64> {
         assert_eq!(input.len(), self.rows, "input length must equal row count");
-        let driver = SpikeDriver::new(input_bits);
-        let trains: Vec<SpikeTrain> = driver.encode_vector(input);
-        self.read_spikes += trains.iter().map(|t| t.spike_count() as u64).sum::<u64>();
+        let bits = SpikeDriver::new(input_bits).bits();
+        #[cfg(debug_assertions)]
+        for &v in input {
+            debug_assert!(
+                bits >= 32 || (v as u64) < (1u64 << bits),
+                "value {v} does not fit in {bits} bits"
+            );
+        }
+        let spikes = PackedSpikes::encode(input, bits);
+        self.read_spikes += spikes.spike_count();
 
         // Reads see the *effective* levels — faults pin their cells,
         // drift/disturb skews them and analog noise perturbs every access,
         // so resolve the array once before streaming (disturb and the
         // read-epoch bump from this MVM land afterwards; within one MVM
         // every slot integrates the same resolved conductances).
+        let planes = match self.plane_cache.take() {
+            Some(p) => p,
+            None => self.build_planes(),
+        };
+
+        let mut fires: Vec<IntegrateFire> = vec![IntegrateFire::new(); self.cols];
+        packed::integrate(&spikes, &planes, &mut fires);
+        let out: Vec<u64> = fires.iter_mut().map(|f| f.fire()).collect();
+        self.output_spikes += out.iter().sum::<u64>();
+
+        // Every slot that drove a word line disturbed that row's cells.
+        let low_mask = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
+        if let Some(d) = self.drift.as_mut() {
+            for (r, &v) in input.iter().enumerate() {
+                d.note_row_reads(r, (v & low_mask).count_ones() as u64);
+            }
+        }
+        // The next array read draws fresh read noise.
+        if let Some(n) = self.noise.as_mut() {
+            n.note_mvm();
+        }
+        // Keep the decomposition only if this read left the levels (and
+        // their noise epoch) untouched.
+        if !self.reads_perturb_levels() {
+            self.plane_cache = Some(planes);
+        }
+        out
+    }
+
+    /// The original scalar slot × row × column walk, retained verbatim as
+    /// the differential-testing reference for [`mvm_spiked`]
+    /// (identical output bits, spike accounting, disturb and noise-epoch
+    /// bookkeeping — property-tested).
+    ///
+    /// [`mvm_spiked`]: Self::mvm_spiked
+    pub fn mvm_spiked_scalar(&mut self, input: &[u32], input_bits: u8) -> Vec<u64> {
+        assert_eq!(input.len(), self.rows, "input length must equal row count");
+        let driver = SpikeDriver::new(input_bits);
+        let trains: Vec<SpikeTrain> = driver.encode_vector(input);
+        self.read_spikes += trains.iter().map(|t| t.spike_count() as u64).sum::<u64>();
+
         let degraded = self.faults.is_some() || self.drift.is_some() || self.noise.is_some();
         let eff: Option<Vec<u8>> = degraded.then(|| {
             (0..self.rows * self.cols)
@@ -320,8 +430,10 @@ impl Crossbar {
 
         let mut fires: Vec<IntegrateFire> = vec![IntegrateFire::new(); self.cols];
         // Stream time slots (LSB first); within a slot all word lines drive
-        // their bitlines simultaneously — the analog accumulation.
-        for slot in 0..input_bits as usize {
+        // their bitlines simultaneously — the analog accumulation. The loop
+        // is clamped to the driver's resolution: slots the clamped driver
+        // never generates inject nothing.
+        for slot in 0..driver.bits() as usize {
             let w = SpikeTrain::slot_weight(slot);
             for (r, train) in trains.iter().enumerate() {
                 if !train.fires(slot) {
@@ -341,17 +453,28 @@ impl Crossbar {
         }
         let out: Vec<u64> = fires.iter_mut().map(|f| f.fire()).collect();
         self.output_spikes += out.iter().sum::<u64>();
-        // Every slot that drove a word line disturbed that row's cells.
         if let Some(d) = self.drift.as_mut() {
             for (r, train) in trains.iter().enumerate() {
                 d.note_row_reads(r, train.spike_count() as u64);
             }
         }
-        // The next array read draws fresh read noise.
         if let Some(n) = self.noise.as_mut() {
             n.note_mvm();
         }
         out
+    }
+
+    /// Batched MVM: one call per *batch* instead of per sample. Semantics
+    /// are exactly `inputs.iter().map(|x| self.mvm_spiked(x, input_bits))`
+    /// — including disturb/noise-epoch ordering — but the bit-plane
+    /// decomposition is amortized across the whole batch whenever reads
+    /// don't perturb the array, which is where the multi-image speedup
+    /// comes from.
+    pub fn mvm_spiked_batch(&mut self, inputs: &[Vec<u32>], input_bits: u8) -> Vec<Vec<u64>> {
+        inputs
+            .iter()
+            .map(|x| self.mvm_spiked(x, input_bits))
+            .collect()
     }
 
     /// Scrubs `row_count` word lines starting at `row_start` (wrapping
@@ -412,6 +535,7 @@ impl Crossbar {
         }
         self.write_spikes += report.pulses;
         self.read_spikes += report.verify_reads;
+        self.plane_cache = None;
         report
     }
 
@@ -710,8 +834,144 @@ mod tests {
         assert_eq!(plain.output_spikes(), noisy.output_spikes());
     }
 
+    /// Regression for the release-profile crash: `input_bits > 32` used to
+    /// walk slots past the clamped driver's train length and index out of
+    /// bounds inside `SpikeTrain::fires`. Both paths must now clamp to the
+    /// driver resolution instead of panicking (this test runs in every
+    /// profile; release is the one that used to crash because the
+    /// debug-assert in `SpikeDriver::new` is compiled out there).
+    #[test]
+    fn input_bits_over_32_clamps_instead_of_panicking() {
+        let levels = vec![vec![3u8, 5], vec![7, 9], vec![11, 13]];
+        let input = [1u32, 70_000, u32::MAX];
+        let mut packed = Crossbar::new(3, 2, 4);
+        packed.program(&levels);
+        let mut scalar = packed.clone();
+        let out = packed.mvm_spiked(&input, 40);
+        // A 40-bit request clamps to the 32-slot ladder, which injects the
+        // full u32 value — the exact integer product.
+        assert_eq!(out, reference_mvm(&levels, &input));
+        assert_eq!(out, scalar.mvm_spiked_scalar(&input, 40));
+        assert_eq!(packed.read_spikes(), scalar.read_spikes());
+    }
+
+    #[test]
+    fn batch_matches_sequential_calls_bitwise() {
+        use crate::noise::NoiseModel;
+        let levels = vec![vec![9u8, 12, 1], vec![15, 6, 0], vec![2, 3, 14]];
+        let inputs: Vec<Vec<u32>> = vec![vec![3, 5, 250], vec![0, 0, 0], vec![255, 1, 128]];
+        let mut seq = Crossbar::new(3, 3, 4);
+        seq.program(&levels);
+        seq.attach_noise(NoiseModel::with_strength(1.5), 11);
+        let mut bat = seq.clone();
+        let expect: Vec<Vec<u64>> = inputs.iter().map(|x| seq.mvm_spiked(x, 8)).collect();
+        assert_eq!(bat.mvm_spiked_batch(&inputs, 8), expect);
+        assert_eq!(bat.read_spikes(), seq.read_spikes());
+        assert_eq!(bat.output_spikes(), seq.output_spikes());
+    }
+
+    #[test]
+    fn plane_cache_tracks_repair_and_scrub() {
+        use crate::drift::DriftModel;
+        use crate::fault::FaultKind;
+        use rand::{rngs::StdRng, SeedableRng};
+        let levels = vec![vec![3u8, 5], vec![7, 9]];
+        let mut xbar = Crossbar::new(2, 2, 4);
+        xbar.program(&levels);
+        let mut map = FaultMap::pristine(2, 2);
+        map.set(0, 1, FaultKind::StuckAtZero);
+        xbar.attach_faults(map);
+        xbar.attach_drift(
+            DriftModel {
+                nu: 0.15,
+                nu_sigma: 0.0,
+                t0_cycles: 10,
+                disturb_per_level: 0,
+            },
+            5,
+        );
+        // Warm the cache, then change the array through every mutation
+        // path and check reads follow.
+        assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![3 + 7, 9]);
+        xbar.clear_fault_col(1);
+        assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![3 + 7, 5 + 9]);
+        xbar.advance_cycles(1_000_000);
+        let aged = xbar.mvm_spiked(&[1, 1], 4);
+        assert_ne!(aged, vec![3 + 7, 5 + 9], "a megacycle must drift reads");
+        let mut rng = StdRng::seed_from_u64(0);
+        xbar.scrub_rows(0, 2, &VerifyPolicy::default(), &mut rng);
+        assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![3 + 7, 5 + 9]);
+        xbar.program(&[vec![1, 1], vec![1, 1]]);
+        assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![2, 2]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Differential pin: the packed hot path is bitwise identical to
+        /// the scalar reference — outputs *and* spike/disturb/noise
+        /// bookkeeping — across random crossbars, every legal driver
+        /// resolution, and attached fault / drift(+disturb) / noise state,
+        /// over several consecutive MVMs (which exercises plane-cache
+        /// reuse and invalidation).
+        #[test]
+        fn packed_mvm_matches_scalar_under_nonidealities(
+            rows in 1usize..70,
+            cols in 1usize..5,
+            input_bits in 1u8..=32,
+            fault_rate in 0.0f64..0.2,
+            drift_sel in 0u8..2,
+            noise_strength in 0.0f64..2.0,
+            seed in 0u64..1000,
+        ) {
+            use crate::drift::DriftModel;
+            use crate::fault::FaultModel;
+            use crate::noise::NoiseModel;
+            use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let levels: Vec<Vec<u8>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.random_range(0u8..16)).collect())
+                .collect();
+            let max = if input_bits >= 32 { u32::MAX } else { (1u32 << input_bits) - 1 };
+            let inputs: Vec<Vec<u32>> = (0..3)
+                .map(|_| (0..rows).map(|_| rng.random_range(0u32..=max)).collect())
+                .collect();
+
+            let mut xbar = Crossbar::new(rows, cols, 4);
+            xbar.program(&levels);
+            if fault_rate > 0.0 {
+                let fm = FaultModel::with_stuck_rate(fault_rate);
+                xbar.attach_faults(FaultMap::generate(rows, cols, &fm, seed));
+            }
+            if drift_sel == 1 {
+                xbar.attach_drift(
+                    DriftModel { nu: 0.1, nu_sigma: 0.05, t0_cycles: 8, disturb_per_level: 40 },
+                    seed,
+                );
+                xbar.advance_cycles(5_000);
+            }
+            if noise_strength > 0.0 {
+                xbar.attach_noise(NoiseModel::with_strength(noise_strength), seed);
+            }
+            let mut reference = xbar.clone();
+
+            for input in &inputs {
+                prop_assert_eq!(
+                    xbar.mvm_spiked(input, input_bits),
+                    reference.mvm_spiked_scalar(input, input_bits)
+                );
+            }
+            prop_assert_eq!(xbar.read_spikes(), reference.read_spikes());
+            prop_assert_eq!(xbar.output_spikes(), reference.output_spikes());
+            // Disturb counters advanced identically ⇒ the arrays stay
+            // bitwise interchangeable for every future read.
+            xbar.advance_cycles(1_000);
+            reference.advance_cycles(1_000);
+            prop_assert_eq!(
+                xbar.mvm_spiked(&inputs[0], input_bits),
+                reference.mvm_spiked_scalar(&inputs[0], input_bits)
+            );
+        }
 
         /// Attaching `NoiseModel::ideal()` leaves `mvm_spiked` output bits
         /// identical to the no-model path on random crossbars — the exact

@@ -12,8 +12,13 @@
 //! * [`integrate_fire`] — the integrate-and-fire converter of Fig. 9(b):
 //!   bitline current charges a capacitor; comparator spikes are counted.
 //!   Eliminates ADCs.
+//! * [`packed`] — bit-packed spike trains (64 rows per `u64` word per
+//!   time slot) and bit-plane-decomposed conductances; turns one MVM time
+//!   slot into `popcount(fires & g_plane) << (slot + plane)` — bitwise
+//!   identical to the scalar walk, an order of magnitude denser.
 //! * [`crossbar`] — a single crossbar array combining the above into an
-//!   exact fixed-point MVM.
+//!   exact fixed-point MVM (packed kernel on the hot path, scalar
+//!   reference retained for differential testing).
 //! * [`array_group`] — signed, full-resolution matrices built from
 //!   positive/negative array pairs and the four 4-bit segment groups of the
 //!   resolution-compensation scheme (Fig. 14).
@@ -61,6 +66,7 @@ pub mod energy;
 pub mod fault;
 pub mod integrate_fire;
 pub mod noise;
+pub mod packed;
 pub mod partition;
 pub mod seedstream;
 pub mod spike;
@@ -76,6 +82,7 @@ pub use energy::{EnergyCounter, ReramParams};
 pub use fault::{FaultKind, FaultMap, FaultModel, ProgramReport, UnrecoverableCell, VerifyPolicy};
 pub use integrate_fire::IntegrateFire;
 pub use noise::{NoiseModel, NoiseState};
+pub use packed::{BitPlanes, PackedSpikes};
 pub use partition::tile_grid;
 pub use subarray::{MorphableSubarray, SubarrayMode};
 pub use variation::VariationModel;

@@ -41,9 +41,11 @@ impl SpikeTrain {
         self.slots.is_empty()
     }
 
-    /// Whether slot `i` fires.
+    /// Whether slot `i` fires. Slots past the end of the train never
+    /// fire — a driver clamped to fewer bits than the caller asked for
+    /// simply injects nothing in the missing slots (no panic).
     pub fn fires(&self, slot: usize) -> bool {
-        self.slots[slot]
+        self.slots.get(slot).is_some_and(|&s| s)
     }
 
     /// Number of spikes actually fired (drives read energy).
@@ -79,10 +81,12 @@ pub struct SpikeDriver {
 impl SpikeDriver {
     /// A driver producing `bits`-slot trains.
     ///
-    /// `bits` outside `1..=32` is debug-checked; in release it clamps to
-    /// that range rather than panicking.
+    /// `bits` outside `1..=32` clamps to that range (in every profile):
+    /// the reference-voltage ladder physically has at most 32 rungs, so a
+    /// wider request degrades to the widest ladder instead of panicking.
+    /// Callers streaming slots must bound their loops by [`Self::bits`],
+    /// not by the resolution they asked for.
     pub fn new(bits: u8) -> Self {
-        debug_assert!(bits > 0 && bits <= 32, "driver resolution must be 1..=32");
         SpikeDriver {
             bits: bits.clamp(1, 32),
         }
@@ -143,6 +147,14 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn rejects_overflow() {
         SpikeTrain::encode(16, 4);
+    }
+
+    #[test]
+    fn out_of_range_slot_never_fires() {
+        let t = SpikeTrain::encode(0b1111, 4);
+        assert!(t.fires(3));
+        assert!(!t.fires(4));
+        assert!(!t.fires(1000));
     }
 
     proptest! {

@@ -22,26 +22,59 @@ use crate::Tensor;
 /// (`p = 0..k`, ascending), so results are independent of the block size.
 const BLOCK_K: usize = 256;
 
+/// Column-lane width of the wide-lane microkernel behind [`gemm_nn`]. Each
+/// lane owns exactly one output column, so widening needs **no cross-lane
+/// reduction** — unlike [`dot`], where the lanes split one sum and a fixed
+/// tree is required to stay deterministic.
+const LANES: usize = 8;
+
 /// `out ← A · B` over raw row-major slices, `A (m×k) · B (k×n) → (m×n)`.
 ///
 /// `out` is fully overwritten. Accumulation order per output element is
-/// `p = 0..k` ascending, regardless of blocking.
+/// `p = 0..k` ascending, regardless of blocking or lane width.
+///
+/// The inner loops are an explicitly vectorized wide-lane microkernel:
+/// [`LANES`] adjacent output columns are held in a register block across the
+/// whole k-panel, and each `p` step does `LANES` independent fused
+/// multiply-adds the autovectorizer can lower to one vector op. Because each
+/// lane is a *distinct* output element, the per-element chain of f32
+/// additions is exactly the scalar `acc += a[i][p] · b[p][j]` walk — loading
+/// `out` into registers first and storing once per panel performs the same
+/// additions in the same order, so the result is bitwise identical to the
+/// pre-lane kernel and independent of `LANES`/`BLOCK_K`. That is what keeps
+/// data-parallel training bitwise reproducible at any thread count.
 pub(crate) fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     out.fill(0.0);
+    let n_wide = n / LANES * LANES;
     let mut kb = 0;
     while kb < k {
         let kend = (kb + BLOCK_K).min(k);
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
             let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &aip) in arow.iter().enumerate().take(kend).skip(kb) {
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bpj) in orow.iter_mut().zip(brow) {
-                    *o += aip * bpj;
+            let mut j = 0;
+            while j < n_wide {
+                let mut acc = [0.0f32; LANES];
+                acc.copy_from_slice(&orow[j..j + LANES]);
+                for (p, &aip) in arow.iter().enumerate().take(kend).skip(kb) {
+                    let bl = &b[p * n + j..p * n + j + LANES];
+                    for (al, &bpj) in acc.iter_mut().zip(bl) {
+                        *al += aip * bpj;
+                    }
                 }
+                orow[j..j + LANES].copy_from_slice(&acc);
+                j += LANES;
+            }
+            // Tail columns (n not a lane multiple): same chain, scalar lane.
+            for (jt, o) in orow.iter_mut().enumerate().skip(n_wide) {
+                let mut acc = *o;
+                for (p, &aip) in arow.iter().enumerate().take(kend).skip(kb) {
+                    acc += aip * b[p * n + jt];
+                }
+                *o = acc;
             }
         }
         kb = kend;
@@ -290,6 +323,37 @@ mod tests {
             (0..k).map(|p| a[[i[0], p]] * b[[p, i[1]]]).sum::<f32>()
         });
         assert!(got.allclose(&want, 1e-2 * k as f32 * 1e-4 + 1e-3));
+    }
+
+    #[test]
+    fn matmul_wide_lanes_are_bitwise_identical_to_naive_chain() {
+        // The wide-lane microkernel must reproduce, bit for bit, the naive
+        // per-element chain `acc = ((0 + t_0) + t_1) + …` with `p` ascending.
+        // Shapes straddle both the lane tail (n % LANES != 0) and the
+        // k-panel boundary (k > BLOCK_K).
+        for &(m, k, n) in &[
+            (3usize, 7usize, 5usize),        // tail-only columns
+            (2, super::BLOCK_K + 9, 8),      // exact lane width, 2 panels
+            (4, 2 * super::BLOCK_K + 1, 19), // lanes + tail, 3 panels
+            (1, 1, super::LANES * 2 + 3),    // degenerate k
+        ] {
+            let a = Tensor::from_fn(&[m, k], |i| ((i[0] * k + i[1]) as f32 * 0.013).sin());
+            let b = Tensor::from_fn(&[k, n], |i| ((i[0] * n + i[1]) as f32 * 0.029).cos());
+            let got = matmul(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[[i, p]] * b[[p, j]];
+                    }
+                    assert_eq!(
+                        got[[i, j]].to_bits(),
+                        acc.to_bits(),
+                        "({m}x{k}x{n}) element ({i},{j}) diverged from the naive chain"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
