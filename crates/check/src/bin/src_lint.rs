@@ -1,7 +1,12 @@
 //! `src-lint` — the repo-wide determinism/panic lint gate.
 //!
-//! A dependency-free (std-only, line-oriented) scan over `crates/*/src`
-//! that keeps library code panic-free and deterministic:
+//! A dependency-free scan over `crates/*/src` that keeps library code
+//! panic-free and deterministic. Two layers:
+//!
+//! **Line lint** (always on) — forbidden-substring matching over
+//! [`pipelayer_check::lex::mask`]ed source (string/char/raw-string interiors
+//! and comments blanked, byte offsets preserved), so quoted or commented-out
+//! code can never match:
 //!
 //! * **Forbidden in non-test code**: `unwrap()`, `.expect(`, `panic!(` and
 //!   `assert!(` (with word boundaries, so `debug_assert!` — compiled out in
@@ -11,28 +16,35 @@
 //!   allowlist to track reality downward.
 //! * **Nondeterminism hazards**: `HashMap`/`HashSet` (iteration order is
 //!   randomized — numeric paths must use `BTreeMap`/sorted `Vec`s) and the
-//!   wall-clock sources `Instant::now` / `SystemTime::now` (simulated time
-//!   must come from the cycle model, never the host clock) are allowlisted
-//!   errors; `==`/`!=` against float literals are printed as warnings
-//!   (exact-zero guards are common and legal, so they never fail the build,
-//!   but new ones should be eyeballed).
-//! * **Lossy numeric `as` casts** (`as f32`, `as u8`/`u16`/`u32`,
-//!   `as i8`/`i16`/`i32`): silently truncate or round; new sites should use
-//!   `From`/`TryFrom` or justify themselves into the allowlist.
-//! * **Raw storage indexing in `crates/reram/`** (`.slots[`, `.cells[`,
-//!   `.words[`): direct indexing into the device-model storage vectors is
-//!   how the `input_bits > 32` out-of-bounds panic entered
-//!   `SpikeTrain::fires`; new code must go through the bounds-explicit
-//!   accessors instead. Existing sites are allowlisted, shrink-only.
+//!   wall-clock sources `Instant::now` / `SystemTime::now`; `==`/`!=`
+//!   against float literals are printed as warnings.
+//! * **Lossy numeric `as` casts** and **raw storage indexing in
+//!   `crates/reram/`** (`.slots[`, `.cells[`, `.words[`), both shrink-only.
+//!
+//! **Semantic passes** (`--semantic`) — the `check::callgraph` layer:
+//!
+//! * **PL060 panic reachability**: which `try_*`/checkpoint/report-facing
+//!   `pub` fns can transitively reach a panic, with a witness call chain.
+//!   Counted per file under the `pl060` allowlist pattern, shrink-only.
+//! * **PL061 cache coherence**: `&mut self` methods of configured types
+//!   (`Crossbar{plane_cache; cells,faults,drift,noise}`) that write state
+//!   without invalidating the cache. **No allowlist** — any finding fails.
+//! * **PL062 determinism taint**: nondeterminism sources reaching the
+//!   weight/report sinks outside the seed stream. `pl062`, shrink-only.
 //!
 //! Test modules (`#[cfg(test)]`), comments and doc lines are exempt.
 //!
 //! ```text
-//! src-lint [--root DIR] [--write-allowlist]
+//! src-lint [--root DIR] [--semantic] [--write-allowlist]
 //! ```
 //!
-//! Exit status: 0 clean, 1 on any lint failure, 2 on usage/I-O errors.
+//! `--write-allowlist` regenerates `lint-allow.txt` from current reality;
+//! without `--semantic` it preserves the existing `pl060`/`pl062` entries
+//! rather than dropping them. Exit status: 0 clean, 1 on any lint failure,
+//! 2 on usage/I-O errors.
 
+use pipelayer_check::callgraph::{self, Workspace};
+use pipelayer_check::{cachecheck, dettaint, lex, panicreach};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -40,6 +52,9 @@ use std::process::ExitCode;
 
 /// The allowlist file, relative to the workspace root.
 const ALLOWLIST: &str = "lint-allow.txt";
+
+/// Allowlist patterns produced by `--semantic`, not the line lint.
+const SEMANTIC_PATTERNS: &[&str] = &["pl060", "pl062"];
 
 /// One forbidden-pattern class. The needles are assembled from fragments at
 /// runtime so this file does not match its own patterns.
@@ -125,53 +140,6 @@ fn count_matches(code: &str, pat: &Pattern) -> usize {
     n
 }
 
-/// Returns `line` with string-literal contents emptied, char literals
-/// blanked, and any `//` line comment truncated — so neither pattern
-/// matching nor test-module brace counting can be derailed by quoted
-/// braces, quoted quotes, or commented-out code.
-fn sanitize(line: &str) -> String {
-    let bytes = line.as_bytes();
-    let mut out = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'"' => {
-                out.push_str("\"\"");
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            b'\'' if i + 2 < bytes.len() && bytes[i + 1] == b'\\' => {
-                // Escaped char literal: skip `'\`, the payload, and the quote.
-                let mut j = i + 3;
-                while j < bytes.len() && bytes[j] != b'\'' {
-                    j += 1;
-                }
-                out.push_str("' '");
-                i = j + 1;
-            }
-            b'\'' if i + 2 < bytes.len() && bytes[i + 2] == b'\'' => {
-                out.push_str("' '"); // plain char literal
-                i += 3;
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
-            c => {
-                out.push(c as char);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
 /// `true` if the token run touching `==`/`!=` on either side looks like a
 /// float literal (`1.0`, `0.`, `.5`).
 fn float_adjacent(code: &str, op_at: usize, op_len: usize) -> bool {
@@ -199,19 +167,20 @@ struct FileReport {
     float_eq: Vec<(usize, String)>,
 }
 
-/// Scans one file, skipping `#[cfg(test)]` items/modules and comments.
+/// Scans one file, skipping `#[cfg(test)]` items/modules. The whole file is
+/// [`lex::mask`]ed first (newline- and offset-preserving), so string/char/
+/// raw-string interiors and comments — including multi-line ones the old
+/// per-line sanitizer could not see — can never match a needle or derail
+/// the test-module brace counting.
 fn scan_file(text: &str, pats: &[Pattern]) -> FileReport {
     let mut report = FileReport::default();
     let mut pending_cfg_test = false;
     let mut skip_depth: i64 = -1; // >= 0 while inside a #[cfg(test)] block
     let cfg_test_attr: String = ["#[cfg(", "test)]"].concat();
+    let masked = lex::mask(text);
 
-    for (lineno, raw) in text.lines().enumerate() {
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("//") {
-            continue; // doc or plain comment line
-        }
-        let code = sanitize(raw);
+    for (lineno, code) in masked.lines().enumerate() {
+        let trimmed = code.trim_start();
 
         if skip_depth >= 0 {
             skip_depth += code.matches('{').count() as i64;
@@ -229,6 +198,9 @@ fn scan_file(text: &str, pats: &[Pattern]) -> FileReport {
             if trimmed.starts_with("#[") {
                 continue; // further attributes on the same test item
             }
+            if trimmed.is_empty() {
+                continue; // blanked doc/comment line between attr and item
+            }
             pending_cfg_test = false;
             let opens = code.matches('{').count() as i64 - code.matches('}').count() as i64;
             if opens > 0 {
@@ -238,7 +210,7 @@ fn scan_file(text: &str, pats: &[Pattern]) -> FileReport {
         }
 
         for pat in pats {
-            let n = count_matches(&code, pat);
+            let n = count_matches(code, pat);
             if n > 0 {
                 *report.counts.entry(pat.name).or_insert(0) += n;
             }
@@ -247,7 +219,7 @@ fn scan_file(text: &str, pats: &[Pattern]) -> FileReport {
             let mut from = 0;
             while let Some(pos) = code[from..].find(op) {
                 let at = from + pos;
-                if float_adjacent(&code, at, op.len()) {
+                if float_adjacent(code, at, op.len()) {
                     report.float_eq.push((lineno + 1, code.trim().to_string()));
                 }
                 from = at + op.len();
@@ -255,42 +227,6 @@ fn scan_file(text: &str, pats: &[Pattern]) -> FileReport {
         }
     }
     report
-}
-
-/// All `.rs` files under `root/crates/*/src`, sorted for determinism.
-fn source_files(root: &Path) -> Result<Vec<PathBuf>, String> {
-    let crates_dir = root.join("crates");
-    let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)
-        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.is_dir())
-        .collect();
-    crates.sort();
-    let mut files = Vec::new();
-    for krate in crates {
-        let src = krate.join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files)?;
-        }
-    }
-    files.sort();
-    Ok(files)
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
-        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 fn rel(root: &Path, path: &Path) -> String {
@@ -324,9 +260,57 @@ fn parse_allowlist(text: &str) -> Result<BTreeMap<(String, String), usize>, Stri
     Ok(map)
 }
 
+/// Output of the `--semantic` passes.
+#[derive(Debug, Default)]
+struct SemanticReport {
+    /// PL061 findings — hard failures, no allowlist.
+    cache_failures: Vec<String>,
+    /// `(path, "pl060"/"pl062")` → count, merged into the allowlist check.
+    counts: BTreeMap<(String, String), usize>,
+    /// `(path, pattern)` → rendered diagnostics, printed when over cap.
+    details: BTreeMap<(String, String), Vec<String>>,
+}
+
+/// Runs PL060/PL061/PL062 over the workspace call graph.
+fn run_semantic(root: &Path) -> Result<SemanticReport, String> {
+    let ws = Workspace::load(root)?;
+    let mut report = SemanticReport::default();
+
+    for d in cachecheck::check(&ws, &cachecheck::default_specs()) {
+        report.cache_failures.push(d.render());
+    }
+
+    let (diags, counts) = panicreach::findings(&ws, &panicreach::Options::default());
+    merge_semantic(&mut report, "pl060", diags, counts);
+    let (diags, counts) = dettaint::findings(&ws, &dettaint::Options::default());
+    merge_semantic(&mut report, "pl062", diags, counts);
+    Ok(report)
+}
+
+fn merge_semantic(
+    report: &mut SemanticReport,
+    pattern: &str,
+    diags: Vec<pipelayer_check::Diagnostic>,
+    counts: BTreeMap<String, usize>,
+) {
+    for (path, n) in counts {
+        report.counts.insert((path, pattern.to_string()), n);
+    }
+    for d in diags {
+        // Diagnostic locations are `path:line`; key details by the path.
+        let path = d.location.split(':').next().unwrap_or("").to_string();
+        report
+            .details
+            .entry((path, pattern.to_string()))
+            .or_default()
+            .push(d.render());
+    }
+}
+
 fn run() -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
     let mut write_allowlist = false;
+    let mut semantic = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -334,6 +318,7 @@ fn run() -> Result<bool, String> {
                 root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?));
             }
             "--write-allowlist" => write_allowlist = true,
+            "--semantic" => semantic = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -349,8 +334,8 @@ fn run() -> Result<bool, String> {
     let pats = patterns();
     let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
     let mut float_warnings: Vec<String> = Vec::new();
-    let mut totals: BTreeMap<&'static str, usize> = BTreeMap::new();
-    for path in source_files(&root)? {
+    let mut totals: BTreeMap<String, usize> = BTreeMap::new();
+    for path in callgraph::collect_sources(&root)? {
         let text = fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let relpath = rel(&root, &path);
@@ -362,7 +347,7 @@ fn run() -> Result<bool, String> {
         let report = scan_file(&text, &file_pats);
         for (name, n) in report.counts {
             counts.insert((relpath.clone(), name.to_string()), n);
-            *totals.entry(name).or_insert(0) += n;
+            *totals.entry(name.to_string()).or_insert(0) += n;
         }
         for (lineno, code) in report.float_eq {
             float_warnings.push(format!(
@@ -371,13 +356,40 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    let sem = if semantic {
+        Some(run_semantic(&root)?)
+    } else {
+        None
+    };
+    if let Some(sem) = &sem {
+        for ((path, pat), &n) in &sem.counts {
+            counts.insert((path.clone(), pat.clone()), n);
+            *totals.entry(pat.clone()).or_insert(0) += n;
+        }
+    }
+
+    let allow_path = root.join(ALLOWLIST);
+    let allow_text = fs::read_to_string(&allow_path).unwrap_or_default();
+    let allowed = parse_allowlist(&allow_text)?;
+
     if write_allowlist {
+        // Without --semantic, preserve the existing pl060/pl062 entries
+        // instead of silently dropping them.
+        if sem.is_none() {
+            for ((path, pat), &n) in &allowed {
+                if SEMANTIC_PATTERNS.contains(&pat.as_str()) {
+                    counts.insert((path.clone(), pat.clone()), n);
+                    *totals.entry(pat.clone()).or_insert(0) += n;
+                }
+            }
+        }
         let mut out = String::new();
         out.push_str(
             "# src-lint allowlist. Checked by `cargo run -p pipelayer-check --bin src-lint`.\n",
         );
         out.push_str("# Format: <path> <pattern> <count>. Counts may only SHRINK: a new site\n");
         out.push_str("# fails the lint, and so does an over-counted (stale) entry.\n");
+        out.push_str("# pl060/pl062 rows come from `src-lint --semantic` (call-graph passes).\n");
         out.push_str("# Baseline at last regeneration: ");
         let summary: Vec<String> = totals.iter().map(|(k, v)| format!("{k}={v}")).collect();
         out.push_str(&summary.join(" "));
@@ -385,16 +397,16 @@ fn run() -> Result<bool, String> {
         for ((path, pat), n) in &counts {
             out.push_str(&format!("{path} {pat} {n}\n"));
         }
-        fs::write(root.join(ALLOWLIST), out)
-            .map_err(|e| format!("cannot write {ALLOWLIST}: {e}"))?;
+        fs::write(&allow_path, out).map_err(|e| format!("cannot write {ALLOWLIST}: {e}"))?;
         println!("wrote {} entries to {ALLOWLIST}", counts.len());
         return Ok(true);
     }
 
-    let allow_text = fs::read_to_string(root.join(ALLOWLIST)).unwrap_or_default();
-    let allowed = parse_allowlist(&allow_text)?;
-
     let mut failures: Vec<String> = Vec::new();
+    if let Some(sem) = &sem {
+        // PL061 has no allowlist: any cache-coherence finding fails.
+        failures.extend(sem.cache_failures.iter().cloned());
+    }
     for ((path, pat), &n) in &counts {
         let cap = allowed
             .get(&(path.clone(), pat.clone()))
@@ -405,9 +417,20 @@ fn run() -> Result<bool, String> {
                 "error[{pat}]: {path}: {n} non-test site(s), allowlist caps it at {cap} — \
                  convert the new site to Result or shrink it some other way"
             ));
+            if let Some(sem) = &sem {
+                if let Some(details) = sem.details.get(&(path.clone(), pat.clone())) {
+                    for d in details {
+                        failures.push(format!("  {d}"));
+                    }
+                }
+            }
         }
     }
     for ((path, pat), &cap) in &allowed {
+        // Semantic rows only bind when the semantic passes actually ran.
+        if sem.is_none() && SEMANTIC_PATTERNS.contains(&pat.as_str()) {
+            continue;
+        }
         let n = counts
             .get(&(path.clone(), pat.clone()))
             .copied()
@@ -428,7 +451,8 @@ fn run() -> Result<bool, String> {
     }
     let summary: Vec<String> = totals.iter().map(|(k, v)| format!("{k}={v}")).collect();
     println!(
-        "src-lint: {} file-pattern entries ({}), {} float-eq warning(s), {} failure(s)",
+        "src-lint{}: {} file-pattern entries ({}), {} float-eq warning(s), {} failure(s)",
+        if semantic { " --semantic" } else { "" },
         counts.len(),
         summary.join(" "),
         float_warnings.len(),
@@ -478,6 +502,27 @@ fn lib2() { x.expect(\"invariant\"); }
         assert_eq!(report.counts.get("unwrap"), None);
         assert_eq!(report.counts.get("panic"), None);
         assert_eq!(report.counts.get("expect"), Some(&1));
+    }
+
+    #[test]
+    fn multiline_strings_and_block_comments_are_exempt() {
+        // The old per-line sanitizer treated the middle of a multi-line
+        // string as code; whole-file masking must not.
+        let pats = patterns();
+        let text = "\
+fn f() -> &'static str {
+    \"first line
+     x.unwrap() quoted
+     last\"
+}
+/* block comment
+   panic!(\"still a comment\")
+*/
+fn g(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let report = scan_file(text, &pats);
+        assert_eq!(report.counts.get("unwrap"), Some(&1));
+        assert_eq!(report.counts.get("panic"), None);
     }
 
     #[test]
@@ -538,17 +583,6 @@ let cycles = clock.now(); // a simulated clock is fine
         };
         assert!(applies("crates/reram/src/spike.rs"));
         assert!(!applies("crates/core/src/buffers.rs"));
-    }
-
-    #[test]
-    fn sanitize_neutralises_literals_and_comments() {
-        assert_eq!(sanitize("let c = '\"'; // tail"), "let c = ' '; ");
-        assert_eq!(sanitize("let s = \"a // }{ b\";"), "let s = \"\";");
-        assert_eq!(sanitize("let q = '\\''; rest"), "let q = ' '; rest");
-        assert_eq!(
-            sanitize("fn f<'a>(x: &'a str) {}"),
-            "fn f<'a>(x: &'a str) {}"
-        );
     }
 
     #[test]

@@ -214,6 +214,15 @@ pub const RANGE_GUARANTEED_SATURATION: &str = "PL043";
 /// Config: the accelerator configuration itself is invalid.
 pub const CONFIG_INVALID: &str = "PL050";
 
+/// Semantic: a public API function can transitively reach a panic site.
+pub const SEM_PANIC_REACHABLE: &str = "PL060";
+/// Semantic: a `&mut self` method writes cached state without invalidating
+/// the derived cache.
+pub const SEM_CACHE_INCOHERENT: &str = "PL061";
+/// Semantic: a nondeterminism source (RNG / wall clock / hash iteration)
+/// can reach a weight-or-report sink outside the seeded stream.
+pub const SEM_NONDET_TAINT: &str = "PL062";
+
 /// Every code with its one-line description, in code order — the table
 /// behind `plcheck --codes` and DESIGN.md §6.3.
 pub const CODE_TABLE: &[(&str, &str)] = &[
@@ -294,6 +303,18 @@ pub const CODE_TABLE: &[(&str, &str)] = &[
         "an output unit saturates on every input in the domain",
     ),
     (CONFIG_INVALID, "accelerator configuration is invalid"),
+    (
+        SEM_PANIC_REACHABLE,
+        "public API function can transitively reach a panic site",
+    ),
+    (
+        SEM_CACHE_INCOHERENT,
+        "&mut self method writes cached state without invalidating the cache",
+    ),
+    (
+        SEM_NONDET_TAINT,
+        "nondeterminism source reaches a weight/report sink outside the seed stream",
+    ),
 ];
 
 #[cfg(test)]

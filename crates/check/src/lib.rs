@@ -31,8 +31,13 @@
 //! ```
 
 pub mod absint;
+pub mod cachecheck;
+pub mod callgraph;
+pub mod dettaint;
 pub mod diag;
+pub mod lex;
 pub mod mapcheck;
+pub mod panicreach;
 pub mod quantcheck;
 pub mod schedule;
 pub mod shape;

@@ -41,12 +41,18 @@ impl Analysis {
 
     /// Creates an analysis for `L` layers and batch `B`.
     ///
-    /// # Panics
-    ///
-    /// Panics if either is zero (a degenerate configuration). Use
-    /// [`try_new`](Self::try_new) to handle the error instead.
+    /// Zero `l`/`b` is debug-asserted; release builds clamp both to 1
+    /// (a degenerate but well-defined analysis). Use
+    /// [`try_new`](Self::try_new) to handle the error explicitly.
     pub fn new(l: usize, b: usize) -> Self {
-        Self::try_new(l, b).unwrap_or_else(|e| panic!("degenerate configuration: {e}"))
+        debug_assert!(
+            l > 0 && b > 0,
+            "degenerate configuration: L and B must be non-zero (got L={l}, B={b})"
+        );
+        Analysis {
+            l: l.max(1),
+            b: b.max(1),
+        }
     }
 
     /// Non-pipelined training cycles for `n` images: `(2L+1)N + N/B`.
@@ -212,9 +218,16 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "degenerate configuration")]
     fn new_panics_on_zero_layers() {
         Analysis::new(0, 64);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn new_clamps_zero_layers_in_release() {
+        assert_eq!(Analysis::new(0, 64), Analysis { l: 1, b: 64 });
     }
 
     #[test]

@@ -46,12 +46,17 @@ impl CircularBuffer {
 
     /// Creates a buffer with `depth` slots.
     ///
-    /// # Panics
-    ///
-    /// Panics if `depth` is zero. Use [`try_new`](Self::try_new) to handle
-    /// the error instead.
+    /// Zero `depth` is debug-asserted; release builds clamp it to 1. Use
+    /// [`try_new`](Self::try_new) to handle the error explicitly.
     pub fn new(depth: usize) -> Self {
-        Self::try_new(depth).unwrap_or_else(|e| panic!("{e}"))
+        debug_assert!(depth > 0, "circular buffer needs at least one slot");
+        CircularBuffer {
+            slots: vec![None; depth.max(1)],
+            head: 0,
+            writes: 0,
+            conflicts: 0,
+            last_write_cycle: None,
+        }
     }
 
     /// Number of slots.
@@ -120,9 +125,16 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "at least one slot")]
     fn new_panics_on_zero_depth() {
         CircularBuffer::new(0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn new_clamps_zero_depth_in_release() {
+        assert_eq!(CircularBuffer::new(0).depth(), 1);
     }
 
     #[test]

@@ -200,12 +200,15 @@ impl PipeLayerConfig {
     /// Creates a config with the default device parameters and the given
     /// batch size.
     ///
-    /// # Panics
-    ///
-    /// Panics if `batch_size` is zero. Use
-    /// [`try_with_batch`](Self::try_with_batch) to handle the error instead.
+    /// Zero `batch_size` is debug-asserted; release builds clamp it to 1.
+    /// Use [`try_with_batch`](Self::try_with_batch) to handle the error
+    /// explicitly.
     pub fn with_batch(batch_size: usize) -> Self {
-        Self::try_with_batch(batch_size).unwrap_or_else(|e| panic!("{e}"))
+        debug_assert!(batch_size > 0, "batch size must be non-zero");
+        PipeLayerConfig {
+            batch_size: batch_size.max(1),
+            ..Self::default()
+        }
     }
 
     /// Enables the fault-tolerance stack: stuck-at faults drawn from
@@ -230,19 +233,26 @@ impl PipeLayerConfig {
     }
 
     /// [`try_with_fault_tolerance`](Self::try_with_fault_tolerance) that
-    /// panics on invalid input.
+    /// debug-asserts validity instead of returning an error. Release builds
+    /// keep the fields as given and defer to the next [`validate`] call
+    /// (every simulator entry point validates its config).
     ///
-    /// # Panics
-    ///
-    /// Panics if any rate or the verify policy is invalid.
+    /// [`validate`]: Self::validate
     pub fn with_fault_tolerance(
-        self,
+        mut self,
         faults: FaultModel,
         verify: VerifyPolicy,
         spares: SpareBudget,
     ) -> Self {
-        self.try_with_fault_tolerance(faults, verify, spares)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.fault_model = faults;
+        self.verify = verify;
+        self.spares = spares;
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid fault-tolerance configuration: {:?}",
+            self.validate()
+        );
+        self
     }
 
     /// Checks every field against its domain.
@@ -350,9 +360,16 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "non-zero")]
     fn rejects_zero_batch() {
         PipeLayerConfig::with_batch(0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_batch_clamps_to_one_in_release() {
+        assert_eq!(PipeLayerConfig::with_batch(0).batch_size, 1);
     }
 
     #[test]

@@ -116,12 +116,14 @@ impl MappedNetwork {
 
     /// Maps `spec` with the default (Table 5 style) granularity.
     ///
-    /// # Panics
-    ///
-    /// Panics if `config` is invalid. Use
-    /// [`try_from_spec`](Self::try_from_spec) to handle the error instead.
+    /// An invalid `config` is debug-asserted; release builds proceed and
+    /// rely on the downstream partitioning checks. Use
+    /// [`try_from_spec`](Self::try_from_spec) to handle the error
+    /// explicitly.
     pub fn from_spec(spec: &NetSpec, config: PipeLayerConfig) -> Self {
-        Self::try_from_spec(spec, config).unwrap_or_else(|e| panic!("{e}"))
+        let resolved = spec.resolve();
+        let g = default_granularity(&resolved);
+        Self::with_granularity(spec, &g, config)
     }
 
     /// Maps `spec` with an explicit per-layer granularity.
@@ -151,14 +153,34 @@ impl MappedNetwork {
 
     /// Maps `spec` with an explicit per-layer granularity.
     ///
-    /// # Panics
-    ///
-    /// Panics if `g.len()` differs from the number of weighted layers or
-    /// contains zeros. Use
-    /// [`try_with_granularity`](Self::try_with_granularity) to handle the
-    /// error instead.
+    /// A wrong-length `g`, zero entries, or an invalid `config` are
+    /// debug-asserted; release builds sanitize the granularity (wrong
+    /// length falls back to all-ones, zero entries are raised to 1) and
+    /// proceed. Use [`try_with_granularity`](Self::try_with_granularity)
+    /// to handle the error explicitly.
     pub fn with_granularity(spec: &NetSpec, g: &[usize], config: PipeLayerConfig) -> Self {
-        Self::try_with_granularity(spec, g, config).unwrap_or_else(|e| panic!("{e}"))
+        debug_assert!(
+            config.validate().is_ok(),
+            "invalid config: {:?}",
+            config.validate()
+        );
+        let resolved = spec.resolve();
+        debug_assert!(
+            g.len() == resolved.len(),
+            "granularity length mismatch: expected {}, got {}",
+            resolved.len(),
+            g.len()
+        );
+        debug_assert!(
+            g.iter().all(|&x| x > 0),
+            "granularity must be positive in every layer"
+        );
+        let sane: Vec<usize> = if g.len() == resolved.len() {
+            g.iter().map(|&x| x.max(1)).collect()
+        } else {
+            vec![1; resolved.len()]
+        };
+        Self::map_resolved(spec, resolved, &sane, config)
     }
 
     fn map_resolved(
@@ -396,10 +418,22 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "granularity length mismatch")]
     fn rejects_wrong_granularity_length() {
         let spec = zoo::spec_mnist_a();
         MappedNetwork::with_granularity(&spec, &[1], PipeLayerConfig::default());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn wrong_granularity_length_falls_back_to_ones_in_release() {
+        let spec = zoo::spec_mnist_a();
+        let m = MappedNetwork::with_granularity(&spec, &[1], PipeLayerConfig::default());
+        assert_eq!(
+            m,
+            MappedNetwork::with_granularity(&spec, &[1, 1], PipeLayerConfig::default())
+        );
     }
 
     #[test]
@@ -423,10 +457,22 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "granularity must be positive")]
     fn rejects_zero_granularity() {
         let spec = zoo::spec_mnist_a();
         MappedNetwork::with_granularity(&spec, &[1, 0], PipeLayerConfig::default());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_granularity_entries_raise_to_one_in_release() {
+        let spec = zoo::spec_mnist_a();
+        let m = MappedNetwork::with_granularity(&spec, &[1, 0], PipeLayerConfig::default());
+        assert_eq!(
+            m,
+            MappedNetwork::with_granularity(&spec, &[1, 1], PipeLayerConfig::default())
+        );
     }
 
     #[test]

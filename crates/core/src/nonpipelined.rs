@@ -32,12 +32,18 @@ impl NonPipelined {
 
     /// Creates a schedule for `L` layers and batch size `B`.
     ///
-    /// # Panics
-    ///
-    /// Panics if either is zero (a degenerate configuration). Use
-    /// [`try_new`](Self::try_new) to handle the error instead.
+    /// Zero `l`/`b` is debug-asserted; release builds clamp both to 1
+    /// (a degenerate but well-defined schedule). Use
+    /// [`try_new`](Self::try_new) to handle the error explicitly.
     pub fn new(l: usize, b: usize) -> Self {
-        Self::try_new(l, b).unwrap_or_else(|e| panic!("degenerate configuration: {e}"))
+        debug_assert!(
+            l > 0 && b > 0,
+            "degenerate configuration: L and B must be non-zero (got L={l}, B={b})"
+        );
+        NonPipelined {
+            l: l.max(1),
+            b: b.max(1),
+        }
     }
 
     /// Training cycles for `n` images, counted by explicit simulation.

@@ -78,12 +78,18 @@ impl PipelineSim {
 
     /// Creates a simulator.
     ///
-    /// # Panics
-    ///
-    /// Panics if `l` or `b` is zero (a degenerate pipeline). Use
-    /// [`try_new`](Self::try_new) to handle the error instead.
+    /// Zero `l`/`b` is debug-asserted; release builds clamp both to 1
+    /// (a degenerate but well-defined pipeline). Use
+    /// [`try_new`](Self::try_new) to handle the error explicitly.
     pub fn new(l: usize, b: usize) -> Self {
-        Self::try_new(l, b).unwrap_or_else(|e| panic!("degenerate pipeline: {e}"))
+        debug_assert!(
+            l > 0 && b > 0,
+            "degenerate pipeline: L and B must be non-zero (got L={l}, B={b})"
+        );
+        PipelineSim {
+            l: l.max(1),
+            b: b.max(1),
+        }
     }
 
     /// Simulates training of `n_batches` full batches with the d-buffer

@@ -49,12 +49,17 @@ impl Quantizer {
 
     /// Creates a quantizer.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `1 <= bits <= 24`. Use [`try_new`](Self::try_new) to
-    /// handle the error instead.
+    /// Out-of-range `bits` is debug-asserted; release builds clamp to the
+    /// supported `1..=24` range. Use [`try_new`](Self::try_new) to handle
+    /// the error explicitly.
     pub fn new(bits: u8) -> Self {
-        Self::try_new(bits).unwrap_or_else(|e| panic!("{e}"))
+        debug_assert!(
+            (1..=24).contains(&bits),
+            "quantizer supports 1..=24 bits (got {bits})"
+        );
+        Quantizer {
+            bits: bits.clamp(1, 24),
+        }
     }
 
     /// Resolution in bits.
@@ -158,9 +163,17 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "1..=24 bits")]
     fn new_panics_out_of_range() {
         Quantizer::new(25);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_range_bits_clamp_in_release() {
+        assert_eq!(Quantizer::new(25).bits(), 24);
+        assert_eq!(Quantizer::new(0).bits(), 1);
     }
 
     #[test]

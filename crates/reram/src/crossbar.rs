@@ -461,6 +461,15 @@ impl Crossbar {
         if let Some(n) = self.noise.as_mut() {
             n.note_mvm();
         }
+        // Same coherence rule as the packed path: if this read's disturb /
+        // noise-epoch bookkeeping can change what the next read sees, any
+        // cached bit-plane decomposition is stale. (The cache is only ever
+        // populated when reads are non-perturbing, but keeping the
+        // invalidation local makes the invariant checkable per method —
+        // PL061 — instead of resting on a global argument.)
+        if self.reads_perturb_levels() {
+            self.plane_cache = None;
+        }
         out
     }
 
@@ -903,6 +912,146 @@ mod tests {
         assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![3 + 7, 5 + 9]);
         xbar.program(&[vec![1, 1], vec![1, 1]]);
         assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![2, 2]);
+    }
+
+    /// Enumerates every `&mut self` mutation path and asserts the packed
+    /// (cached) MVM stays bitwise identical to a scalar recompute on a
+    /// clone afterwards — i.e. no mutation can leave a stale `plane_cache`
+    /// behind. This is the dynamic counterpart of the PL061 static
+    /// cache-coherence pass: a forgotten invalidation in any listed method
+    /// makes the packed probe read stale planes and diverge.
+    #[test]
+    fn mutating_methods_leave_no_stale_plane_cache() {
+        use crate::drift::DriftModel;
+        use crate::fault::FaultKind;
+        use crate::noise::NoiseModel;
+        use rand::{rngs::StdRng, SeedableRng};
+
+        fn drifty() -> DriftModel {
+            DriftModel {
+                nu: 0.15,
+                nu_sigma: 0.0,
+                t0_cycles: 10,
+                disturb_per_level: 0,
+            }
+        }
+        fn disturby() -> DriftModel {
+            DriftModel {
+                nu: 0.0,
+                nu_sigma: 0.0,
+                t0_cycles: 1,
+                disturb_per_level: 3,
+            }
+        }
+        fn stuck_corner() -> FaultMap {
+            let mut map = FaultMap::pristine(4, 4);
+            map.set(0, 0, FaultKind::StuckAtZero);
+            map
+        }
+
+        type Step = Box<dyn Fn(&mut Crossbar)>;
+        let cases: Vec<(&str, Step, Step)> = vec![
+            (
+                "program",
+                Box::new(|_| {}),
+                Box::new(|x| {
+                    x.program(&[
+                        vec![2, 7, 1, 8],
+                        vec![2, 8, 1, 8],
+                        vec![2, 8, 4, 5],
+                        vec![9, 0, 4, 5],
+                    ]);
+                }),
+            ),
+            (
+                "program_verify",
+                Box::new(|_| {}),
+                Box::new(|x| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    x.program_verify(
+                        &[
+                            vec![3, 1, 4, 1],
+                            vec![5, 9, 2, 6],
+                            vec![5, 3, 5, 8],
+                            vec![9, 7, 9, 3],
+                        ],
+                        &VerifyPolicy::default(),
+                        &mut rng,
+                    );
+                }),
+            ),
+            (
+                "attach_faults",
+                Box::new(|_| {}),
+                Box::new(|x| x.attach_faults(stuck_corner())),
+            ),
+            (
+                "attach_drift",
+                Box::new(|_| {}),
+                Box::new(|x| x.attach_drift(drifty(), 5)),
+            ),
+            (
+                "attach_noise",
+                Box::new(|_| {}),
+                Box::new(|x| x.attach_noise(NoiseModel::with_strength(1.0), 9)),
+            ),
+            (
+                "advance_cycles",
+                Box::new(|x| x.attach_drift(drifty(), 5)),
+                Box::new(|x| x.advance_cycles(1_000_000)),
+            ),
+            (
+                "clear_fault_col",
+                Box::new(|x| x.attach_faults(stuck_corner())),
+                Box::new(|x| x.clear_fault_col(0)),
+            ),
+            (
+                "scrub_rows",
+                Box::new(|x| {
+                    x.attach_drift(drifty(), 5);
+                    x.advance_cycles(1_000_000);
+                }),
+                Box::new(|x| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    x.scrub_rows(0, 4, &VerifyPolicy::default(), &mut rng);
+                }),
+            ),
+            (
+                "mvm_spiked under read disturb",
+                Box::new(|x| x.attach_drift(disturby(), 5)),
+                Box::new(|x| {
+                    x.mvm_spiked(&[15, 15, 15, 15], 4);
+                }),
+            ),
+            (
+                "mvm_spiked_scalar under read disturb",
+                Box::new(|x| x.attach_drift(disturby(), 5)),
+                Box::new(|x| {
+                    x.mvm_spiked_scalar(&[15, 15, 15, 15], 4);
+                }),
+            ),
+        ];
+
+        for (name, setup, mutate) in cases {
+            let mut xbar = Crossbar::new(4, 4, 4);
+            xbar.program(&[
+                vec![9, 1, 14, 3],
+                vec![0, 5, 7, 11],
+                vec![13, 2, 4, 6],
+                vec![8, 15, 10, 12],
+            ]);
+            setup(&mut xbar);
+            // Warm the plane cache (kept only when reads are non-perturbing).
+            xbar.mvm_spiked(&[1, 2, 3, 4], 4);
+            mutate(&mut xbar);
+            // The scalar reference never touches the cache, so a stale cache
+            // in the packed path shows up as a bitwise divergence.
+            let mut reference = xbar.clone();
+            let probe = [3, 1, 4, 1];
+            let packed = xbar.mvm_spiked(&probe, 4);
+            let scalar = reference.mvm_spiked_scalar(&probe, 4);
+            assert_eq!(packed, scalar, "{name}: packed MVM served stale planes");
+        }
     }
 
     proptest! {
