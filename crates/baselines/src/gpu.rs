@@ -36,7 +36,7 @@ pub struct GpuModel {
     /// Peak FP32 throughput, FLOP/s (2560 cores × 2 × 1.733 GHz boost).
     pub peak_flops: f64,
     /// Memory bandwidth, B/s.
-    pub mem_bandwidth: f64,
+    pub mem_bandwidth_bytes_per_s: f64,
     /// Fraction of peak reached by convolution kernels.
     pub conv_utilization: f64,
     /// Fraction of peak reached by GEMM (inner-product) kernels.
@@ -59,7 +59,7 @@ impl Default for GpuModel {
     fn default() -> Self {
         GpuModel {
             peak_flops: 8.873e12,
-            mem_bandwidth: 320e9,
+            mem_bandwidth_bytes_per_s: 320e9,
             conv_utilization: 0.75,
             fc_utilization: 0.85,
             launch_overhead_s: 12e-6,
@@ -99,7 +99,7 @@ impl GpuModel {
                 * (layer.in_shape.0 * layer.in_shape.1 * layer.in_shape.2
                     + layer.out_shape.0 * layer.out_shape.1 * layer.out_shape.2)
                     as f64;
-            let memory = (weight_bytes + act_bytes) / self.mem_bandwidth;
+            let memory = (weight_bytes + act_bytes) / self.mem_bandwidth_bytes_per_s;
             t += compute.max(memory) + self.kernels_per_layer * self.launch_overhead_s;
         }
         t
@@ -134,7 +134,7 @@ impl GpuModel {
         let work = 3.0 * self.forward_work_s(spec, batch);
         // SGD update: read gradient + read weight + write weight, plus one
         // optimizer kernel per layer.
-        let update = spec.weight_count() as f64 * 4.0 * 3.0 / self.mem_bandwidth
+        let update = spec.weight_count() as f64 * 4.0 * 3.0 / self.mem_bandwidth_bytes_per_s
             + spec.weighted_layers() as f64 * self.kernels_per_layer * self.launch_overhead_s;
         let batches = (n_images as f64 / batch as f64).ceil();
         let per_batch = work + update + 1.5 * self.framework_overhead_s;

@@ -138,7 +138,7 @@ fn main() {
     println!();
     let spec = zoo::spec_mnist_a();
     let base_map = MappedNetwork::from_spec(&spec, PipeLayerConfig::default());
-    let base_cycle = TimingModel::new(&base_map).update_cycle_ns();
+    let base_cycle_ns = TimingModel::new(&base_map).update_cycle_ns();
     let endurance = EnduranceModel::research_grade();
     let base_life = training_lifetime(&base_map, &endurance);
     let mut cost = Table::new(
@@ -170,7 +170,7 @@ fn main() {
         cost.row(vec![
             format!("{rate}"),
             fmt_f(life.pulses_per_update, 3),
-            fmt_f(cycle / base_cycle, 3),
+            fmt_f(cycle / base_cycle_ns, 3),
             fmt_f(life.days(), 1),
             fmt_f(life.seconds / base_life.seconds, 3),
         ]);

@@ -205,17 +205,17 @@ fn main() {
             ..PipeLayerConfig::default()
         };
         let net = MappedNetwork::from_spec(&spec, cfg);
-        let ns = TimingModel::new(&net).scrub_ns_per_image();
-        let uj = EnergyModel::new(&net).scrub_j_per_image() * 1e6;
+        let ns_per_image = TimingModel::new(&net).scrub_ns_per_image();
+        let uj_per_image = EnergyModel::new(&net).scrub_j_per_image() * 1e6;
         let life = training_lifetime(&net, &EnduranceModel::research_grade());
         let ratio = images_to_death(&life) / images_to_death(&base_life);
         cost.row(vec![
             interval.to_string(),
-            fmt_f(ns, 3),
-            fmt_f(uj, 3),
+            fmt_f(ns_per_image, 3),
+            fmt_f(uj_per_image, 3),
             fmt_f(ratio, 3),
         ]);
-        analytic_rows.push((interval, ns, uj, ratio));
+        analytic_rows.push((interval, ns_per_image, uj_per_image, ratio));
     }
     cost.print();
 
@@ -325,12 +325,12 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str("  \"analytic_costs\": [\n");
-    for (i, (interval, ns, uj, ratio)) in analytic_rows.iter().enumerate() {
+    for (i, (interval, ns_per_image, uj_per_image, ratio)) in analytic_rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"scrub_interval_images\": {}, \"scrub_ns_per_image\": {}, \"scrub_uj_per_image\": {}, \"images_to_death_ratio\": {}}}{}\n",
             interval,
-            json_num(*ns),
-            json_num(*uj),
+            json_num(*ns_per_image),
+            json_num(*uj_per_image),
             json_num(*ratio),
             if i + 1 < analytic_rows.len() { "," } else { "" }
         ));

@@ -31,6 +31,10 @@
 //!   without invalidating the cache. **No allowlist** — any finding fails.
 //! * **PL062 determinism taint**: nondeterminism sources reaching the
 //!   weight/report sinks outside the seed stream. `pl062`, shrink-only.
+//! * **PL070/PL071/PL072 dimensional analysis** (`check::units` over the
+//!   `check::expr` trees): mixed-unit arithmetic, suffix-vs-body unit
+//!   disagreements, and unsuffixed bench-JSON/report sink fields.
+//!   Counted per file under `pl070`/`pl071`/`pl072`, shrink-only.
 //!
 //! Test modules (`#[cfg(test)]`), comments and doc lines are exempt.
 //!
@@ -44,7 +48,7 @@
 //! 2 on usage/I-O errors.
 
 use pipelayer_check::callgraph::{self, Workspace};
-use pipelayer_check::{cachecheck, dettaint, lex, panicreach};
+use pipelayer_check::{cachecheck, dettaint, lex, panicreach, units};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -54,7 +58,7 @@ use std::process::ExitCode;
 const ALLOWLIST: &str = "lint-allow.txt";
 
 /// Allowlist patterns produced by `--semantic`, not the line lint.
-const SEMANTIC_PATTERNS: &[&str] = &["pl060", "pl062"];
+const SEMANTIC_PATTERNS: &[&str] = &["pl060", "pl062", "pl070", "pl071", "pl072"];
 
 /// One forbidden-pattern class. The needles are assembled from fragments at
 /// runtime so this file does not match its own patterns.
@@ -284,6 +288,22 @@ fn run_semantic(root: &Path) -> Result<SemanticReport, String> {
     merge_semantic(&mut report, "pl060", diags, counts);
     let (diags, counts) = dettaint::findings(&ws, &dettaint::Options::default());
     merge_semantic(&mut report, "pl062", diags, counts);
+
+    // The units pass reports three codes at once; its counts come keyed
+    // `(path, "pl07x")` already.
+    let (diags, counts) = units::findings(&ws, &units::Options::default());
+    for (key, n) in counts {
+        report.counts.insert(key, n);
+    }
+    for d in diags {
+        let path = d.location.split(':').next().unwrap_or("").to_string();
+        let pattern = d.code.to_ascii_lowercase();
+        report
+            .details
+            .entry((path, pattern))
+            .or_default()
+            .push(d.render());
+    }
     Ok(report)
 }
 

@@ -1,0 +1,1545 @@
+//! Best-effort expression parser over [`crate::lex`] tokens.
+//!
+//! `check::units` needs real expression *trees* — which operands feed which
+//! `+`, where a `1e-12` multiplies, which value lands in which struct field —
+//! not the flat token runs `check::callgraph` extracts. This module is a
+//! Pratt parser over the lexer's tokens that recovers exactly the statement
+//! and expression subset the PipeLayer model code is written in:
+//! let-bindings, arithmetic/comparison chains, method and free/assoc calls,
+//! numeric casts, field access, struct literals, macro invocations, and the
+//! block/`if`/`match` scaffolding around them.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Never panic, always progress** — like the lexer, the parser is run
+//!    over arbitrary token soup in a fuzz test. Anything unparseable becomes
+//!    an [`ExprKind::Opaque`] node (whose children, if any, are still
+//!    well-formed statements), and the cursor always advances.
+//! 2. **Byte-span fidelity** — every node carries the byte [`Span`] of the
+//!    tokens it covers, so diagnostics can point at the exact source slice.
+//! 3. **Honest ignorance** — constructs outside the subset (closures,
+//!    tuples, ranges, `match` patterns) parse to `Opaque`, never to a
+//!    wrong-but-plausible tree. The units pass maps `Opaque` to "unknown
+//!    unit", which can only *suppress* findings, not invent them.
+
+use crate::lex::{Tok, TokKind};
+
+/// Byte range (plus 1-based start line) of one parsed node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+}
+
+/// One parsed expression with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+/// One struct-literal field: `name: value`, or shorthand `name` (no value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInit {
+    pub name: String,
+    pub value: Option<Expr>,
+    pub span: Span,
+}
+
+/// The expression grammar subset (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Numeric literal, raw source text (`29.31`, `1e-12`, `0xFF_u32`).
+    Num(String),
+    /// String literal, raw source text including quotes/escapes.
+    Str(String),
+    /// Variable or path reference: `x`, `f64::INFINITY` (segments).
+    Path(Vec<String>),
+    /// `base.name` (also tuple indices: `t.0`).
+    Field { base: Box<Expr>, name: String },
+    /// `base.name(args)`.
+    MethodCall {
+        base: Box<Expr>,
+        name: String,
+        args: Vec<Expr>,
+    },
+    /// `path(args)` or `Type::assoc(args)`.
+    Call { path: Vec<String>, args: Vec<Expr> },
+    /// `name!(args)` — args parsed best-effort as comma-separated exprs.
+    Macro { name: String, args: Vec<Expr> },
+    /// Prefix `-`, `!`, `&`, `*`.
+    Unary { op: char, operand: Box<Expr> },
+    /// Infix operator, both operands parsed.
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `operand as ty`.
+    Cast { operand: Box<Expr>, ty: String },
+    /// `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// `Path { field: value, .. }`.
+    StructLit {
+        path: Vec<String>,
+        fields: Vec<FieldInit>,
+    },
+    /// `{ stmts }` — value is the tail statement's, if any.
+    Block(Vec<Stmt>),
+    /// Anything outside the subset. Child statements (e.g. the arms of a
+    /// `match`, the body of a closure) are still parsed and walkable.
+    Opaque(Vec<Stmt>),
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name [: ty] = init;` — `name` is empty for non-identifier
+    /// patterns (tuples, destructuring).
+    Let {
+        name: String,
+        init: Option<Expr>,
+        span: Span,
+    },
+    /// Expression statement (`;`-terminated or block-like).
+    Expr(Expr),
+    /// `return expr;` / bare `return`.
+    Ret(Option<Expr>, Span),
+    /// Final expression of a block without `;` — the block's value.
+    Tail(Expr),
+}
+
+impl Expr {
+    fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Depth-first walk over this expression and every nested expression,
+    /// including those inside `Opaque`/`Block` child statements.
+    pub fn walk<F: FnMut(&Expr)>(&self, f: &mut F) {
+        f(self);
+        match &self.kind {
+            ExprKind::Num(_) | ExprKind::Str(_) | ExprKind::Path(_) => {}
+            ExprKind::Field { base, .. } => base.walk(f),
+            ExprKind::MethodCall { base, args, .. } => {
+                base.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Call { args, .. } | ExprKind::Macro { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Unary { operand, .. } => operand.walk(f),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Cast { operand, .. } => operand.walk(f),
+            ExprKind::Index { base, index } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for fi in fields {
+                    if let Some(v) = &fi.value {
+                        v.walk(f);
+                    }
+                }
+            }
+            ExprKind::Block(stmts) | ExprKind::Opaque(stmts) => {
+                for s in stmts {
+                    s.walk(f);
+                }
+            }
+        }
+    }
+}
+
+impl Stmt {
+    /// Depth-first walk over every expression in this statement.
+    pub fn walk<F: FnMut(&Expr)>(&self, f: &mut F) {
+        match self {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    e.walk(f);
+                }
+            }
+            Stmt::Expr(e) | Stmt::Tail(e) => e.walk(f),
+            Stmt::Ret(e, _) => {
+                if let Some(e) = e {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+}
+
+/// Parses the token range `[lo, hi)` of `toks` (a function body between its
+/// braces) into statements. Never panics; see module docs.
+pub fn parse_body(src: &str, toks: &[Tok], lo: usize, hi: usize) -> Vec<Stmt> {
+    let hi = hi.min(toks.len());
+    let lo = lo.min(hi);
+    let mut p = Parser {
+        src,
+        toks,
+        i: lo,
+        hi,
+        depth: 0,
+    };
+    p.parse_stmts(None)
+}
+
+/// Recursion ceiling: past this, subexpressions collapse to `Opaque`.
+const MAX_DEPTH: u32 = 64;
+
+/// Infix operators with (left, right) binding powers. Longest first so the
+/// adjacency-joined lookup is greedy. `=`-family is right-associative.
+const BIN_OPS: &[(&str, u8, u8)] = &[
+    ("<<=", 2, 1),
+    (">>=", 2, 1),
+    ("..=", 7, 8),
+    ("+=", 2, 1),
+    ("-=", 2, 1),
+    ("*=", 2, 1),
+    ("/=", 2, 1),
+    ("%=", 2, 1),
+    ("&=", 2, 1),
+    ("|=", 2, 1),
+    ("^=", 2, 1),
+    ("==", 13, 14),
+    ("!=", 13, 14),
+    ("<=", 13, 14),
+    (">=", 13, 14),
+    ("<<", 21, 22),
+    (">>", 21, 22),
+    ("&&", 11, 12),
+    ("||", 9, 10),
+    ("..", 7, 8),
+    ("*", 25, 26),
+    ("/", 25, 26),
+    ("%", 25, 26),
+    ("+", 23, 24),
+    ("-", 23, 24),
+    ("<", 13, 14),
+    (">", 13, 14),
+    ("&", 19, 20),
+    ("^", 17, 18),
+    ("|", 15, 16),
+    ("=", 2, 1),
+];
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: &'a [Tok],
+    i: usize,
+    hi: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Tok> {
+        let k = self.i.checked_add(ahead)?;
+        if k < self.hi {
+            self.toks.get(k)
+        } else {
+            None
+        }
+    }
+
+    fn text(&self, t: &Tok) -> &'a str {
+        t.text(self.src)
+    }
+
+    fn peek_text(&self, ahead: usize) -> &'a str {
+        self.peek(ahead).map(|t| self.text(t)).unwrap_or("")
+    }
+
+    fn is_punct(&self, ahead: usize, s: &str) -> bool {
+        self.peek(ahead)
+            .is_some_and(|t| t.kind == TokKind::Punct && self.text(t) == s)
+    }
+
+    fn is_ident(&self, ahead: usize, s: &str) -> bool {
+        self.peek(ahead)
+            .is_some_and(|t| t.kind == TokKind::Ident && self.text(t) == s)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.peek(0)?;
+        self.i += 1;
+        Some(t)
+    }
+
+    /// Span of the token about to be consumed (or an empty end-span).
+    fn here(&self) -> Span {
+        match self.peek(0) {
+            Some(t) => Span {
+                start: t.start,
+                end: t.end,
+                line: t.line,
+            },
+            None => {
+                let end = self
+                    .toks
+                    .get(self.hi.wrapping_sub(1).min(self.toks.len().wrapping_sub(1)))
+                    .map(|t| t.end)
+                    .unwrap_or(0);
+                Span {
+                    start: end,
+                    end,
+                    line: 0,
+                }
+            }
+        }
+    }
+
+    /// Span from `from` through the last consumed token.
+    fn span_from(&self, from: Span) -> Span {
+        let end = self
+            .i
+            .checked_sub(1)
+            .and_then(|k| self.toks.get(k))
+            .map(|t| t.end)
+            .unwrap_or(from.end);
+        Span {
+            start: from.start,
+            end: end.max(from.start),
+            line: from.line,
+        }
+    }
+
+    /// `::` is two adjacent `:` punct tokens.
+    fn is_path_sep(&self, ahead: usize) -> bool {
+        match (self.peek(ahead), self.peek(ahead + 1)) {
+            (Some(a), Some(b)) => {
+                a.kind == TokKind::Punct
+                    && b.kind == TokKind::Punct
+                    && self.text(a) == ":"
+                    && self.text(b) == ":"
+                    && a.end == b.start
+            }
+            _ => false,
+        }
+    }
+
+    /// The longest [`BIN_OPS`] operator starting at the cursor, built from
+    /// byte-adjacent punct tokens. Returns `(op, token_count, l_bp, r_bp)`.
+    fn infix_op(&self) -> Option<(&'static str, usize, u8, u8)> {
+        let first = self.peek(0)?;
+        if first.kind != TokKind::Punct {
+            return None;
+        }
+        let mut joined = String::new();
+        let mut end = first.start;
+        let mut lens: Vec<usize> = Vec::new();
+        for ahead in 0..3 {
+            match self.peek(ahead) {
+                Some(t) if t.kind == TokKind::Punct && t.start == end => {
+                    joined.push_str(self.text(t));
+                    end = t.end;
+                    lens.push(joined.len());
+                }
+                _ => break,
+            }
+        }
+        // `a :: b` must stay a path, `=>` an arm arrow, `->` a return arrow.
+        for &(op, l, r) in BIN_OPS {
+            if let Some(ntoks) = lens.iter().position(|&len| joined[..len] == *op) {
+                // Reject when a longer non-operator sequence matches first
+                // (`=>`/`->`): the joined prefix equality above already
+                // guarantees exact token coverage.
+                if op == "=" && joined.starts_with("=>") {
+                    return None;
+                }
+                if op == "-" && joined.starts_with("->") {
+                    return None;
+                }
+                if op == "<" && joined.starts_with("<-") {
+                    return None;
+                }
+                return Some((op, ntoks + 1, l, r));
+            }
+        }
+        None
+    }
+
+    /// Consumes tokens through balanced `(`/`[`/`{` until `stop` at depth 0.
+    /// Also stops (without consuming) at `;` or a closing delimiter that
+    /// would unbalance the region. Returns whether `stop` was consumed.
+    fn skip_until(&mut self, stop: &[&str]) -> bool {
+        let mut depth: i64 = 0;
+        while let Some(t) = self.peek(0) {
+            let s = self.text(t);
+            if t.kind == TokKind::Punct {
+                match s {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            return false;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => return false,
+                    _ => {}
+                }
+                if depth == 0 && stop.contains(&s) {
+                    self.i += 1;
+                    return true;
+                }
+            } else if t.kind == TokKind::Ident && depth == 0 && stop.contains(&s) {
+                self.i += 1;
+                return true;
+            }
+            self.i += 1;
+        }
+        false
+    }
+
+    /// Consumes a balanced group whose opener was already consumed.
+    fn skip_balanced(&mut self, open: &str) {
+        let close = match open {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return,
+        };
+        let mut depth: i64 = 1;
+        while let Some(t) = self.bump() {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            let s = self.text(t);
+            if s == open {
+                depth += 1;
+            } else if s == close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Statements until `}` (when `closer` is set) or end of range.
+    fn parse_stmts(&mut self, closer: Option<&str>) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        while self.i < self.hi {
+            if let Some(c) = closer {
+                if self.is_punct(0, c) {
+                    self.i += 1;
+                    return out;
+                }
+            }
+            // A stray closer without an open block: stop (outer caller's).
+            if closer.is_none() && (self.is_punct(0, "}")) {
+                self.i += 1;
+                continue;
+            }
+            let before = self.i;
+            if self.is_punct(0, ";") {
+                self.i += 1;
+                continue;
+            }
+            if self.is_punct(0, "#") {
+                // Statement attribute `#[...]`.
+                self.i += 1;
+                if self.is_punct(0, "[") {
+                    self.i += 1;
+                    self.skip_balanced("[");
+                }
+                continue;
+            }
+            if self.is_ident(0, "let") {
+                out.push(self.parse_let());
+            } else if self.is_ident(0, "return") {
+                let start = self.here();
+                self.i += 1;
+                let e = if self.i >= self.hi || self.is_punct(0, ";") || self.is_punct(0, "}") {
+                    None
+                } else {
+                    Some(self.parse_expr(0, true))
+                };
+                out.push(Stmt::Ret(e, self.span_from(start)));
+            } else if self.is_ident(0, "fn")
+                || self.is_ident(0, "struct")
+                || self.is_ident(0, "impl")
+                || self.is_ident(0, "use")
+                || self.is_ident(0, "mod")
+                || self.is_ident(0, "const")
+                || self.is_ident(0, "static")
+            {
+                // Nested items: skip the header, then the body/terminator.
+                let start = self.here();
+                self.i += 1;
+                self.skip_until(&["{", ";"]);
+                if self
+                    .i
+                    .checked_sub(1)
+                    .and_then(|k| self.toks.get(k))
+                    .is_some_and(|t| self.text(t) == "{")
+                {
+                    self.skip_balanced("{");
+                }
+                out.push(Stmt::Expr(Expr::new(
+                    ExprKind::Opaque(Vec::new()),
+                    self.span_from(start),
+                )));
+            } else {
+                let e = self.parse_expr(0, true);
+                if self.is_punct(0, ";") {
+                    self.i += 1;
+                    out.push(Stmt::Expr(e));
+                } else if self.i >= self.hi || closer.is_some_and(|c| self.is_punct(0, c)) {
+                    let tail_close = closer.is_some() && self.is_punct(0, closer.unwrap_or("}"));
+                    out.push(Stmt::Tail(e));
+                    if tail_close {
+                        self.i += 1;
+                        return out;
+                    }
+                } else {
+                    // Block-like statement (`if …{}` with no `;`) or soup.
+                    out.push(Stmt::Expr(e));
+                }
+            }
+            if self.i == before {
+                // Guaranteed progress on anything unhandled.
+                self.i += 1;
+            }
+        }
+        out
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let start = self.here();
+        self.i += 1; // let
+        if self.is_ident(0, "mut") {
+            self.i += 1;
+        }
+        let name = match self.peek(0) {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = self.text(t).to_string();
+                self.i += 1;
+                n
+            }
+            _ => {
+                // Tuple / struct pattern: give up on the name, find `=`/`;`.
+                String::new()
+            }
+        };
+        // Optional `: Type` then `= init`. Type tokens may contain `<>`.
+        if !name.is_empty() && self.is_punct(0, ":") && !self.is_path_sep(0) {
+            self.i += 1;
+            self.skip_type();
+        } else if name.is_empty() {
+            self.skip_until(&["="]);
+            // `skip_until` consumed `=` if found; step back so the shared
+            // init path below sees it.
+            if self
+                .i
+                .checked_sub(1)
+                .and_then(|k| self.toks.get(k))
+                .is_some_and(|t| self.text(t) == "=")
+            {
+                self.i -= 1;
+            }
+        }
+        let init = if self.is_punct(0, "=") && !self.is_punct(1, "=") {
+            self.i += 1;
+            Some(self.parse_expr(0, true))
+        } else {
+            None
+        };
+        // let-else: parse the diverging block so its exprs are still seen.
+        if self.is_ident(0, "else") {
+            self.i += 1;
+            if self.is_punct(0, "{") {
+                self.i += 1;
+                let _ = self.parse_stmts(Some("}"));
+            }
+        }
+        if self.is_punct(0, ";") {
+            self.i += 1;
+        }
+        Stmt::Let {
+            name,
+            init,
+            span: self.span_from(start),
+        }
+    }
+
+    /// Skips a type position: balanced `<>`/`()`/`[]`, stopping before `=`,
+    /// `;`, or an unbalanced closer. `->` arrows inside fn types pass.
+    fn skip_type(&mut self) {
+        let mut angle: i64 = 0;
+        let mut paren: i64 = 0;
+        while let Some(t) = self.peek(0) {
+            let s = self.text(t);
+            if t.kind == TokKind::Punct {
+                match s {
+                    "<" => angle += 1,
+                    ">" => {
+                        // Part of `->`? The previous token is an adjacent `-`.
+                        let arrow = self
+                            .i
+                            .checked_sub(1)
+                            .and_then(|k| self.toks.get(k))
+                            .is_some_and(|p| {
+                                p.kind == TokKind::Punct && self.text(p) == "-" && p.end == t.start
+                            });
+                        if !arrow {
+                            if angle == 0 {
+                                return;
+                            }
+                            angle -= 1;
+                        }
+                    }
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => {
+                        if paren == 0 {
+                            return;
+                        }
+                        paren -= 1;
+                    }
+                    "=" | ";" if angle == 0 && paren == 0 => return,
+                    "{" | "}" if angle == 0 && paren == 0 => return,
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident && s == "else" && angle == 0 && paren == 0 {
+                return;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Pratt loop. `struct_ok` gates `Path { … }` struct literals (false in
+    /// `if`/`while`/`match`-scrutinee positions, as in real Rust).
+    fn parse_expr(&mut self, min_bp: u8, struct_ok: bool) -> Expr {
+        if self.depth >= MAX_DEPTH {
+            let start = self.here();
+            self.skip_until(&[";"]);
+            return Expr::new(ExprKind::Opaque(Vec::new()), self.span_from(start));
+        }
+        self.depth += 1;
+        let mut lhs = self.parse_prefix(struct_ok);
+        loop {
+            // Postfix: `.field`, `.method()`, `?`, `[index]`, `(call)`, `as`.
+            if self.is_punct(0, "?") {
+                self.i += 1;
+                continue;
+            }
+            if self.is_punct(0, ".") && !self.is_punct(1, ".") {
+                lhs = self.parse_postfix_dot(lhs);
+                continue;
+            }
+            if self.is_punct(0, "[") {
+                let start = lhs.span;
+                self.i += 1;
+                let index = self.parse_expr(0, true);
+                if self.is_punct(0, "]") {
+                    self.i += 1;
+                } else {
+                    self.skip_until(&["]"]);
+                }
+                lhs = Expr::new(
+                    ExprKind::Index {
+                        base: Box::new(lhs),
+                        index: Box::new(index),
+                    },
+                    self.span_from(start),
+                );
+                continue;
+            }
+            if self.is_punct(0, "(") && !matches!(lhs.kind, ExprKind::Opaque(_)) {
+                // Call of a non-path expression (closure in a variable, …).
+                let start = lhs.span;
+                self.i += 1;
+                let args = self.parse_args(")");
+                let mut children: Vec<Stmt> = vec![Stmt::Expr(lhs)];
+                children.extend(args.into_iter().map(Stmt::Expr));
+                lhs = Expr::new(ExprKind::Opaque(children), self.span_from(start));
+                continue;
+            }
+            if self.is_ident(0, "as") {
+                let start = lhs.span;
+                self.i += 1;
+                let ty = match self.peek(0) {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        let ty = self.text(t).to_string();
+                        self.i += 1;
+                        ty
+                    }
+                    _ => String::new(),
+                };
+                lhs = Expr::new(
+                    ExprKind::Cast {
+                        operand: Box::new(lhs),
+                        ty,
+                    },
+                    self.span_from(start),
+                );
+                continue;
+            }
+            let Some((op, ntoks, l_bp, r_bp)) = self.infix_op() else {
+                break;
+            };
+            if l_bp < min_bp {
+                break;
+            }
+            self.i += ntoks;
+            let start = lhs.span;
+            let rhs = self.parse_expr(r_bp, struct_ok);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: op.to_string(),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                self.span_from(start),
+            );
+        }
+        self.depth -= 1;
+        lhs
+    }
+
+    fn parse_postfix_dot(&mut self, base: Expr) -> Expr {
+        let start = base.span;
+        self.i += 1; // `.`
+        match self.peek(0) {
+            Some(t) if t.kind == TokKind::Ident => {
+                let name = self.text(t).to_string();
+                self.i += 1;
+                if name == "await" {
+                    return base;
+                }
+                // Optional turbofish before the call parens.
+                if self.is_path_sep(0) && self.is_punct(2, "<") {
+                    self.i += 3;
+                    self.skip_angles();
+                }
+                if self.is_punct(0, "(") {
+                    self.i += 1;
+                    let args = self.parse_args(")");
+                    Expr::new(
+                        ExprKind::MethodCall {
+                            base: Box::new(base),
+                            name,
+                            args,
+                        },
+                        self.span_from(start),
+                    )
+                } else {
+                    Expr::new(
+                        ExprKind::Field {
+                            base: Box::new(base),
+                            name,
+                        },
+                        self.span_from(start),
+                    )
+                }
+            }
+            Some(t) if t.kind == TokKind::Num => {
+                let name = self.text(t).to_string();
+                self.i += 1;
+                Expr::new(
+                    ExprKind::Field {
+                        base: Box::new(base),
+                        name,
+                    },
+                    self.span_from(start),
+                )
+            }
+            _ => Expr::new(
+                ExprKind::Opaque(vec![Stmt::Expr(base)]),
+                self.span_from(start),
+            ),
+        }
+    }
+
+    /// Consumes a `<…>` group whose `<` was already consumed. Each `>` is
+    /// its own token (the lexer emits single-byte puncts).
+    fn skip_angles(&mut self) {
+        let mut depth: i64 = 1;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match self.text(t) {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            self.i += 1;
+                            return;
+                        }
+                    }
+                    ";" | "{" | "}" => return, // not a generic list after all
+                    _ => {}
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Comma-separated expressions until `close` (consumed).
+    fn parse_args(&mut self, close: &str) -> Vec<Expr> {
+        let mut args = Vec::new();
+        loop {
+            if self.is_punct(0, close) {
+                self.i += 1;
+                return args;
+            }
+            if self.i >= self.hi {
+                return args;
+            }
+            let before = self.i;
+            args.push(self.parse_expr(0, true));
+            if self.is_punct(0, ",") {
+                self.i += 1;
+            } else if self.is_punct(0, close) {
+                self.i += 1;
+                return args;
+            } else if self.i == before {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn parse_prefix(&mut self, struct_ok: bool) -> Expr {
+        let start = self.here();
+        let Some(t) = self.peek(0) else {
+            return Expr::new(ExprKind::Opaque(Vec::new()), start);
+        };
+        match t.kind {
+            TokKind::Num => {
+                let text = self.text(t).to_string();
+                self.i += 1;
+                Expr::new(ExprKind::Num(text), start)
+            }
+            TokKind::Str => {
+                let text = self.text(t).to_string();
+                self.i += 1;
+                Expr::new(ExprKind::Str(text), start)
+            }
+            TokKind::Char | TokKind::Comment => {
+                self.i += 1;
+                Expr::new(ExprKind::Opaque(Vec::new()), start)
+            }
+            TokKind::Lifetime => {
+                // Loop label `'a: loop { … }`.
+                self.i += 1;
+                if self.is_punct(0, ":") {
+                    self.i += 1;
+                }
+                self.parse_prefix(struct_ok)
+            }
+            TokKind::Ident => self.parse_prefix_ident(struct_ok),
+            TokKind::Punct => self.parse_prefix_punct(struct_ok),
+        }
+    }
+
+    fn parse_prefix_punct(&mut self, struct_ok: bool) -> Expr {
+        let start = self.here();
+        let s = self.peek_text(0);
+        match s {
+            "(" => {
+                self.i += 1;
+                if self.is_punct(0, ")") {
+                    self.i += 1;
+                    return Expr::new(ExprKind::Opaque(Vec::new()), self.span_from(start));
+                }
+                let inner = self.parse_expr(0, true);
+                if self.is_punct(0, ",") {
+                    // Tuple: keep elements walkable, value opaque.
+                    let mut children = vec![Stmt::Expr(inner)];
+                    while self.is_punct(0, ",") {
+                        self.i += 1;
+                        if self.is_punct(0, ")") {
+                            break;
+                        }
+                        children.push(Stmt::Expr(self.parse_expr(0, true)));
+                    }
+                    if self.is_punct(0, ")") {
+                        self.i += 1;
+                    } else {
+                        self.skip_until(&[")"]);
+                    }
+                    return Expr::new(ExprKind::Opaque(children), self.span_from(start));
+                }
+                if self.is_punct(0, ")") {
+                    self.i += 1;
+                } else {
+                    self.skip_until(&[")"]);
+                }
+                // Parens are transparent, but keep the widened span.
+                Expr::new(inner.kind, self.span_from(start))
+            }
+            "[" => {
+                self.i += 1;
+                let mut children = Vec::new();
+                loop {
+                    if self.is_punct(0, "]") {
+                        self.i += 1;
+                        break;
+                    }
+                    if self.i >= self.hi {
+                        break;
+                    }
+                    let before = self.i;
+                    children.push(Stmt::Expr(self.parse_expr(0, true)));
+                    if self.is_punct(0, ",") || self.is_punct(0, ";") {
+                        self.i += 1;
+                    }
+                    if self.i == before {
+                        self.i += 1;
+                    }
+                }
+                Expr::new(ExprKind::Opaque(children), self.span_from(start))
+            }
+            "{" => {
+                self.i += 1;
+                let stmts = self.parse_stmts(Some("}"));
+                Expr::new(ExprKind::Block(stmts), self.span_from(start))
+            }
+            "-" | "!" | "*" => {
+                let op = s.chars().next().unwrap_or('-');
+                self.i += 1;
+                let operand = self.parse_expr(27, struct_ok);
+                Expr::new(
+                    ExprKind::Unary {
+                        op,
+                        operand: Box::new(operand),
+                    },
+                    self.span_from(start),
+                )
+            }
+            "&" => {
+                self.i += 1;
+                // `&&x` is two reborrows; `& mut x` strips the mut.
+                if self.is_ident(0, "mut") {
+                    self.i += 1;
+                }
+                let operand = self.parse_expr(27, struct_ok);
+                Expr::new(
+                    ExprKind::Unary {
+                        op: '&',
+                        operand: Box::new(operand),
+                    },
+                    self.span_from(start),
+                )
+            }
+            "|" => {
+                // Closure: `|params| body` (params skipped, body parsed).
+                self.i += 1;
+                if !self.is_punct(0, "|") {
+                    self.skip_until(&["|"]);
+                } else {
+                    self.i += 1;
+                }
+                if self.is_punct(0, "-") && self.is_punct(1, ">") {
+                    self.i += 2;
+                    self.skip_type();
+                }
+                let body = self.parse_expr(0, true);
+                Expr::new(
+                    ExprKind::Opaque(vec![Stmt::Expr(body)]),
+                    self.span_from(start),
+                )
+            }
+            "." => {
+                // Prefix range `..x` / `..=x` or stray dot.
+                self.i += 1;
+                if self.is_punct(0, ".") {
+                    self.i += 1;
+                    if self.is_punct(0, "=") {
+                        self.i += 1;
+                    }
+                    if !(self.is_punct(0, ")")
+                        || self.is_punct(0, "]")
+                        || self.is_punct(0, "}")
+                        || self.is_punct(0, ",")
+                        || self.is_punct(0, ";")
+                        || self.i >= self.hi)
+                    {
+                        let e = self.parse_expr(8, struct_ok);
+                        return Expr::new(
+                            ExprKind::Opaque(vec![Stmt::Expr(e)]),
+                            self.span_from(start),
+                        );
+                    }
+                }
+                Expr::new(ExprKind::Opaque(Vec::new()), self.span_from(start))
+            }
+            _ => {
+                self.i += 1;
+                Expr::new(ExprKind::Opaque(Vec::new()), self.span_from(start))
+            }
+        }
+    }
+
+    fn parse_prefix_ident(&mut self, struct_ok: bool) -> Expr {
+        let start = self.here();
+        let word = self.peek_text(0);
+        match word {
+            "if" => {
+                self.i += 1;
+                let mut children = Vec::new();
+                // `if let PAT = expr` — skip the pattern, keep the expr.
+                if self.is_ident(0, "let") {
+                    self.i += 1;
+                    self.skip_until(&["="]);
+                }
+                children.push(Stmt::Expr(self.parse_expr(0, false)));
+                if self.is_punct(0, "{") {
+                    self.i += 1;
+                    children.extend(self.parse_stmts(Some("}")));
+                }
+                while self.is_ident(0, "else") {
+                    self.i += 1;
+                    if self.is_ident(0, "if") {
+                        self.i += 1;
+                        if self.is_ident(0, "let") {
+                            self.i += 1;
+                            self.skip_until(&["="]);
+                        }
+                        children.push(Stmt::Expr(self.parse_expr(0, false)));
+                    }
+                    if self.is_punct(0, "{") {
+                        self.i += 1;
+                        children.extend(self.parse_stmts(Some("}")));
+                    }
+                }
+                Expr::new(ExprKind::Opaque(children), self.span_from(start))
+            }
+            "match" => {
+                self.i += 1;
+                let mut children = vec![Stmt::Expr(self.parse_expr(0, false))];
+                if self.is_punct(0, "{") {
+                    self.i += 1;
+                    // Arms: skip `pattern =>`, parse the arm body.
+                    loop {
+                        if self.is_punct(0, "}") {
+                            self.i += 1;
+                            break;
+                        }
+                        if self.i >= self.hi {
+                            break;
+                        }
+                        let before = self.i;
+                        if !self.skip_to_arrow() {
+                            // No `=>` found before the closing brace.
+                            self.skip_until(&["}"]);
+                            break;
+                        }
+                        children.push(Stmt::Expr(self.parse_expr(0, true)));
+                        if self.is_punct(0, ",") {
+                            self.i += 1;
+                        }
+                        if self.i == before {
+                            self.i += 1;
+                        }
+                    }
+                }
+                Expr::new(ExprKind::Opaque(children), self.span_from(start))
+            }
+            "while" => {
+                self.i += 1;
+                let mut children = Vec::new();
+                if self.is_ident(0, "let") {
+                    self.i += 1;
+                    self.skip_until(&["="]);
+                }
+                children.push(Stmt::Expr(self.parse_expr(0, false)));
+                if self.is_punct(0, "{") {
+                    self.i += 1;
+                    children.extend(self.parse_stmts(Some("}")));
+                }
+                Expr::new(ExprKind::Opaque(children), self.span_from(start))
+            }
+            "for" => {
+                self.i += 1;
+                self.skip_until(&["in"]);
+                let mut children = vec![Stmt::Expr(self.parse_expr(0, false))];
+                if self.is_punct(0, "{") {
+                    self.i += 1;
+                    children.extend(self.parse_stmts(Some("}")));
+                }
+                Expr::new(ExprKind::Opaque(children), self.span_from(start))
+            }
+            "loop" => {
+                self.i += 1;
+                let mut children = Vec::new();
+                if self.is_punct(0, "{") {
+                    self.i += 1;
+                    children.extend(self.parse_stmts(Some("}")));
+                }
+                Expr::new(ExprKind::Opaque(children), self.span_from(start))
+            }
+            "unsafe" => {
+                self.i += 1;
+                if self.is_punct(0, "{") {
+                    self.i += 1;
+                    let stmts = self.parse_stmts(Some("}"));
+                    return Expr::new(ExprKind::Block(stmts), self.span_from(start));
+                }
+                Expr::new(ExprKind::Opaque(Vec::new()), self.span_from(start))
+            }
+            "move" => {
+                self.i += 1;
+                self.parse_prefix(struct_ok)
+            }
+            "return" | "break" | "continue" => {
+                self.i += 1;
+                let mut children = Vec::new();
+                if !(self.i >= self.hi
+                    || self.is_punct(0, ";")
+                    || self.is_punct(0, "}")
+                    || self.is_punct(0, ")")
+                    || self.is_punct(0, ","))
+                {
+                    children.push(Stmt::Expr(self.parse_expr(0, struct_ok)));
+                }
+                Expr::new(ExprKind::Opaque(children), self.span_from(start))
+            }
+            _ => self.parse_path_expr(struct_ok),
+        }
+    }
+
+    /// Skips a match-arm pattern up to its `=>` (consumed). Returns false if
+    /// the arm has no arrow before the arm list closes.
+    fn skip_to_arrow(&mut self) -> bool {
+        let mut depth: i64 = 0;
+        while let Some(t) = self.peek(0) {
+            let s = self.text(t);
+            if t.kind == TokKind::Punct {
+                match s {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "}" => {
+                        if depth == 0 {
+                            return false;
+                        }
+                        depth -= 1;
+                    }
+                    "=" if depth == 0 => {
+                        let arrow = self.peek(1).is_some_and(|n| {
+                            n.kind == TokKind::Punct && self.text(n) == ">" && t.end == n.start
+                        });
+                        if arrow {
+                            self.i += 2;
+                            return true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.i += 1;
+        }
+        false
+    }
+
+    /// `seg(::seg)*` then one of: macro bang, call parens, struct literal,
+    /// or a plain path reference.
+    fn parse_path_expr(&mut self, struct_ok: bool) -> Expr {
+        let start = self.here();
+        let mut segs: Vec<String> = Vec::new();
+        loop {
+            match self.peek(0) {
+                Some(t) if t.kind == TokKind::Ident => {
+                    segs.push(self.text(t).to_string());
+                    self.i += 1;
+                }
+                _ => break,
+            }
+            if self.is_path_sep(0) {
+                if self.is_punct(2, "<") {
+                    // Turbofish `::<…>`.
+                    self.i += 3;
+                    self.skip_angles();
+                    break;
+                }
+                if self.peek(2).is_some_and(|t| t.kind == TokKind::Ident) {
+                    self.i += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.i += 1;
+            return Expr::new(ExprKind::Opaque(Vec::new()), self.span_from(start));
+        }
+        if self.is_punct(0, "!") && !self.is_punct(1, "=") {
+            // Macro invocation.
+            self.i += 1;
+            let name = segs.last().cloned().unwrap_or_default();
+            let args = if self.is_punct(0, "(") || self.is_punct(0, "[") {
+                let close = if self.is_punct(0, "(") { ")" } else { "]" };
+                self.i += 1;
+                self.parse_args(close)
+            } else if self.is_punct(0, "{") {
+                self.i += 1;
+                self.parse_args("}")
+            } else {
+                Vec::new()
+            };
+            return Expr::new(ExprKind::Macro { name, args }, self.span_from(start));
+        }
+        if self.is_punct(0, "(") {
+            self.i += 1;
+            let args = self.parse_args(")");
+            return Expr::new(ExprKind::Call { path: segs, args }, self.span_from(start));
+        }
+        if struct_ok && self.is_punct(0, "{") && self.looks_like_struct_lit() {
+            self.i += 1;
+            let fields = self.parse_struct_fields();
+            return Expr::new(
+                ExprKind::StructLit { path: segs, fields },
+                self.span_from(start),
+            );
+        }
+        Expr::new(ExprKind::Path(segs), self.span_from(start))
+    }
+
+    /// After a path, decides `Path { … }` struct literal vs. a block that
+    /// happens to follow (`match x {` handled upstream via `struct_ok`).
+    fn looks_like_struct_lit(&self) -> bool {
+        if self.is_punct(1, "}") {
+            return true; // `Path {}`
+        }
+        if self.is_punct(1, ".") && self.is_punct(2, ".") {
+            return true; // `Path { ..base }`
+        }
+        if self.peek(1).is_some_and(|t| t.kind == TokKind::Ident) {
+            // `name:` (not `name::`), `name,`, or `name }` shorthand.
+            if self.is_punct(2, ":") && !self.is_path_sep(2) {
+                return true;
+            }
+            if self.is_punct(2, ",") || self.is_punct(2, "}") {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_struct_fields(&mut self) -> Vec<FieldInit> {
+        let mut fields = Vec::new();
+        loop {
+            if self.is_punct(0, "}") {
+                self.i += 1;
+                return fields;
+            }
+            if self.i >= self.hi {
+                return fields;
+            }
+            let before = self.i;
+            if self.is_punct(0, ".") && self.is_punct(1, ".") {
+                // `..base` functional update.
+                self.i += 2;
+                let _ = self.parse_expr(0, true);
+            } else if self.peek(0).is_some_and(|t| t.kind == TokKind::Ident) {
+                let fspan = self.here();
+                let name = self.peek_text(0).to_string();
+                self.i += 1;
+                let value = if self.is_punct(0, ":") && !self.is_path_sep(0) {
+                    self.i += 1;
+                    Some(self.parse_expr(0, true))
+                } else {
+                    None
+                };
+                fields.push(FieldInit {
+                    name,
+                    value,
+                    span: self.span_from(fspan),
+                });
+            }
+            if self.is_punct(0, ",") {
+                self.i += 1;
+            }
+            if self.i == before {
+                self.i += 1;
+            }
+        }
+    }
+}
+
+// ---- signature helpers ------------------------------------------------------
+
+/// Extracts `(name, span)` pairs for the value parameters of the `fn` whose
+/// body starts at token index `body_lo` (the first token *inside* the brace).
+/// Walks backwards to the `fn` keyword, then forward through the parameter
+/// parens collecting `ident :` at paren depth 1, skipping `self`.
+pub fn param_names(src: &str, toks: &[Tok], body_lo: usize) -> Vec<String> {
+    // Find the `fn` keyword: scan back from the body brace.
+    let brace = body_lo.saturating_sub(1);
+    let mut fn_at = None;
+    let lo = brace.saturating_sub(256); // signatures are short
+    for k in (lo..=brace.min(toks.len().saturating_sub(1))).rev() {
+        let Some(t) = toks.get(k) else { continue };
+        if t.kind == TokKind::Ident && t.text(src) == "fn" {
+            fn_at = Some(k);
+            break;
+        }
+    }
+    let Some(fn_at) = fn_at else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut k = fn_at;
+    while k < body_lo.min(toks.len()) {
+        let Some(t) = toks.get(k) else { break };
+        let s = t.text(src);
+        if t.kind == TokKind::Punct {
+            match s {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && depth == 1 && s != "self" && s != "mut" {
+            // `ident` directly followed by a single `:` is a parameter name.
+            let colon = toks.get(k + 1).is_some_and(|n| {
+                n.kind == TokKind::Punct
+                    && n.text(src) == ":"
+                    && !toks.get(k + 2).is_some_and(|m| {
+                        m.kind == TokKind::Punct && m.text(src) == ":" && n.end == m.start
+                    })
+            });
+            if colon {
+                out.push(s.to_string());
+                // Skip the type until `,` or `)` at this depth.
+                k += 2;
+                let mut tdepth: i64 = 0;
+                while k < body_lo.min(toks.len()) {
+                    let Some(t2) = toks.get(k) else { break };
+                    let s2 = t2.text(src);
+                    if t2.kind == TokKind::Punct {
+                        match s2 {
+                            "(" | "[" | "<" => tdepth += 1,
+                            ")" => {
+                                if tdepth == 0 {
+                                    depth -= 1;
+                                    break;
+                                }
+                                tdepth -= 1;
+                            }
+                            "]" | ">" => tdepth -= 1,
+                            "," if tdepth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+        if depth <= 0 && s == ")" {
+            break;
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+
+    fn parse(src: &str) -> Vec<Stmt> {
+        let toks = lex::lex(src);
+        parse_body(src, &toks, 0, toks.len())
+    }
+
+    /// Renders a compact s-expression for golden tests.
+    fn sexp_stmt(s: &Stmt) -> String {
+        match s {
+            Stmt::Let { name, init, .. } => match init {
+                Some(e) => format!("(let {name} {})", sexp(e)),
+                None => format!("(let {name})"),
+            },
+            Stmt::Expr(e) => sexp(e),
+            Stmt::Ret(Some(e), _) => format!("(ret {})", sexp(e)),
+            Stmt::Ret(None, _) => "(ret)".to_string(),
+            Stmt::Tail(e) => format!("(tail {})", sexp(e)),
+        }
+    }
+
+    fn sexp(e: &Expr) -> String {
+        match &e.kind {
+            ExprKind::Num(n) => n.clone(),
+            ExprKind::Str(_) => "str".to_string(),
+            ExprKind::Path(p) => p.join("::"),
+            ExprKind::Field { base, name } => format!("(. {} {name})", sexp(base)),
+            ExprKind::MethodCall { base, name, args } => {
+                let a: Vec<String> = args.iter().map(sexp).collect();
+                format!("(m {} {name} [{}])", sexp(base), a.join(" "))
+            }
+            ExprKind::Call { path, args } => {
+                let a: Vec<String> = args.iter().map(sexp).collect();
+                format!("(call {} [{}])", path.join("::"), a.join(" "))
+            }
+            ExprKind::Macro { name, args } => {
+                let a: Vec<String> = args.iter().map(sexp).collect();
+                format!("(mac {name} [{}])", a.join(" "))
+            }
+            ExprKind::Unary { op, operand } => format!("({op} {})", sexp(operand)),
+            ExprKind::Binary { op, lhs, rhs } => {
+                format!("({op} {} {})", sexp(lhs), sexp(rhs))
+            }
+            ExprKind::Cast { operand, ty } => format!("(as {} {ty})", sexp(operand)),
+            ExprKind::Index { base, index } => format!("(ix {} {})", sexp(base), sexp(index)),
+            ExprKind::StructLit { path, fields } => {
+                let fs: Vec<String> = fields
+                    .iter()
+                    .map(|f| match &f.value {
+                        Some(v) => format!("{}:{}", f.name, sexp(v)),
+                        None => f.name.clone(),
+                    })
+                    .collect();
+                format!("(lit {} {{{}}})", path.join("::"), fs.join(" "))
+            }
+            ExprKind::Block(stmts) => {
+                let ss: Vec<String> = stmts.iter().map(sexp_stmt).collect();
+                format!("(block {})", ss.join(" "))
+            }
+            ExprKind::Opaque(stmts) => {
+                let ss: Vec<String> = stmts.iter().map(sexp_stmt).collect();
+                format!("(? {})", ss.join(" "))
+            }
+        }
+    }
+
+    fn golden(src: &str, want: &str) {
+        let got: Vec<String> = parse(src).iter().map(sexp_stmt).collect();
+        assert_eq!(got.join(" ; "), want, "src: {src}");
+    }
+
+    #[test]
+    fn golden_precedence_and_calls() {
+        golden("a + b * c", "(tail (+ a (* b c)))");
+        golden(
+            "let e = spikes as f64 * p.read_energy_pj * 1e-12;",
+            "(let e (* (* (as spikes f64) (. p read_energy_pj)) 1e-12))",
+        );
+        golden(
+            "self.timing.forward_phase_ns(l).max(x)",
+            "(tail (m (m (. self timing) forward_phase_ns [l]) max [x]))",
+        );
+    }
+
+    #[test]
+    fn golden_struct_literal_and_shorthand() {
+        golden(
+            "RunEstimate { cycles, time_s: ns * 1e-9, }",
+            "(tail (lit RunEstimate {cycles time_s:(* ns 1e-9)}))",
+        );
+    }
+
+    #[test]
+    fn golden_let_with_type_and_cast() {
+        golden(
+            "let x: Vec<(u8, u8)> = mk(); let y = n as f64 / d;",
+            "(let x (call mk [])) ; (let y (/ (as n f64) d))",
+        );
+    }
+
+    #[test]
+    fn golden_if_match_are_opaque_but_walked() {
+        golden(
+            "if a_ns > b_ns { a_ns } else { b_ns }",
+            "(tail (? (> a_ns b_ns) (tail a_ns) (tail b_ns)))",
+        );
+        golden(
+            "match k { 0 => x_ns, _ => y_ns, }",
+            "(tail (? k x_ns y_ns))",
+        );
+    }
+
+    #[test]
+    fn golden_macro_and_return() {
+        golden(
+            "return format!(\"{}\", x_ns); ",
+            "(ret (mac format [str x_ns]))",
+        );
+    }
+
+    #[test]
+    fn golden_comparison_chain_and_assign() {
+        golden("total += e_pj * 1e-12;", "(+= total (* e_pj 1e-12))");
+        golden("a <= b && c != d", "(tail (&& (<= a b) (!= c d)))");
+    }
+
+    #[test]
+    fn spans_cover_their_source() {
+        let src = "let e = a_pj * 1e-12;";
+        let stmts = parse(src);
+        let Stmt::Let { init: Some(e), .. } = &stmts[0] else {
+            panic!("expected let: {stmts:?}");
+        };
+        assert_eq!(&src[e.span.start..e.span.end], "a_pj * 1e-12");
+        let ExprKind::Binary { lhs, rhs, .. } = &e.kind else {
+            panic!("expected binary: {e:?}");
+        };
+        assert_eq!(&src[lhs.span.start..lhs.span.end], "a_pj");
+        assert_eq!(&src[rhs.span.start..rhs.span.end], "1e-12");
+    }
+
+    #[test]
+    fn closures_and_tuples_are_opaque_with_walkable_children() {
+        let stmts = parse("v.iter().map(|x| x * k_ns).sum::<f64>()");
+        let mut seen_mul = false;
+        for s in &stmts {
+            s.walk(&mut |e| {
+                if let ExprKind::Binary { op, .. } = &e.kind {
+                    if op == "*" {
+                        seen_mul = true;
+                    }
+                }
+            });
+        }
+        assert!(seen_mul, "{stmts:?}");
+    }
+
+    #[test]
+    fn param_names_from_signature() {
+        let src =
+            "pub fn forward_phase_ns(&self, layer: &LayerCost, out_words: u64) -> f64 { 0.0 }";
+        let toks = lex::lex(src);
+        // Find the body: first token after `{`.
+        let open = toks
+            .iter()
+            .position(|t| t.text(src) == "{")
+            .expect("has body");
+        let names = param_names(src, &toks, open + 1);
+        assert_eq!(names, vec!["layer", "out_words"]);
+    }
+
+    #[test]
+    fn never_panics_on_unbalanced_soup() {
+        for src in [
+            "((((((((",
+            "}}}}",
+            "let = = =",
+            "a.b.c.",
+            "x as ",
+            "match {",
+            "if {} else",
+            "|a, b",
+            "Foo { x: ",
+            "1e99e9 .. !",
+            "::<>::",
+            "let (a, b) = ;",
+            "&&&&& mut mut",
+            "# # [ [",
+        ] {
+            let toks = lex::lex(src);
+            let stmts = parse_body(src, &toks, 0, toks.len());
+            for s in &stmts {
+                s.walk(&mut |e| {
+                    assert!(e.span.start <= e.span.end && e.span.end <= src.len());
+                });
+            }
+        }
+    }
+}

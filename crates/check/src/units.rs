@@ -1,0 +1,1442 @@
+//! PL070–PL072 — dimensional analysis of the timing/energy/endurance model.
+//!
+//! The paper's headline numbers (42.45× speedup, 7.17× energy saving) are
+//! computed by `crates/core` arithmetic whose physical units live only in
+//! identifier suffixes (`cycle_ns`, `read_energy_pj`, `scrub_uj_per_image`)
+//! and hand-written powers of ten (`* 1e-12` for pJ→J). Nothing in the type
+//! system checks any of it. This pass does, over the expression trees of
+//! [`crate::expr`]:
+//!
+//! * **Unit domain** — a vector of exponents over the six base dimensions
+//!   the model uses (seconds, joules, images, bits, spikes, cycles) plus a
+//!   decimal **scale**: `Unit::Known(d, Scale::Pow(p))` means *value ×
+//!   10^p is the SI quantity*, so `ns` is `(time, −9)` and `pJ` is
+//!   `(energy, −12)`. Scales are tracked through multiplication, so a
+//!   pJ→J conversion missing its `1e-12` is caught, not just ns+J.
+//! * **Seeding** — units come from identifier-suffix conventions
+//!   ([`suffix_unit`]: trailing `_ns`/`_pj`/`_per_image`… segments) and a
+//!   small declarative table ([`NAME_UNITS`]) for the core model names
+//!   whose suffix alone under-specifies them (`cycle_ns` is ns *per
+//!   cycle*, `read_energy_pj` is pJ *per spike*).
+//! * **Propagation** — through let-bindings within a body and via
+//!   return-unit inference across the [`crate::callgraph`] call graph,
+//!   iterated to a fixed point.
+//! * **Literals** — a bare numeric literal is [`Unit::Lit`]: it adopts the
+//!   unit of whatever it meets (`x_ns + 1.0` is fine). The one exception
+//!   is a power of ten written in e-notation (`1e-12`, `1e9`): multiplying
+//!   by `10^k` *shifts the scale* by −k — that is what a unit conversion
+//!   is — while plain magnitudes (`100.0`, `86_400.0`) do not.
+//!
+//! Diagnostics:
+//!
+//! * **PL070** — mixed units meet at `+`, `-`, `%`, a comparison, an
+//!   assignment, or `min`/`max`/`clamp`: different dimensions, or the same
+//!   dimension at different scales (a missing conversion factor).
+//! * **PL071** — a let-binding's or function's suffix-declared unit
+//!   disagrees with the unit its body/initializer actually computes.
+//! * **PL072** — a dimensioned value flows into a bench-JSON/report sink
+//!   (struct-literal field or `format!`-family JSON key in the configured
+//!   sink files) whose field name carries no — or the wrong — unit suffix.
+//!
+//! Soundness limits, same contract as the other semantic passes: the pass
+//! may **miss** (anything that evaluates to [`Unit::Unknown`] — opaque
+//! expressions, un-suffixed names, unresolved calls — silences downstream
+//! checks) and may **add** only where naming lies (a variable suffixed
+//! `_ns` that deliberately holds joules will be flagged; rename it or
+//! allowlist the site). "No finding" is not a proof of unit-soundness.
+
+use crate::callgraph::{CallSite, FnItem, Recv, Workspace};
+use crate::diag::{self, Diagnostic};
+use crate::expr::{self, Expr, ExprKind, Stmt};
+use std::collections::BTreeMap;
+
+// ---- the unit domain --------------------------------------------------------
+
+/// Number of base dimensions tracked.
+pub const NDIMS: usize = 6;
+const TIME: usize = 0;
+const ENERGY: usize = 1;
+const IMAGES: usize = 2;
+const BITS: usize = 3;
+const SPIKES: usize = 4;
+const CYCLES: usize = 5;
+
+/// Exponent vector over (time, energy, images, bits, spikes, cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dim(pub [i8; NDIMS]);
+
+impl Dim {
+    /// The dimensionless vector.
+    pub const NONE: Dim = Dim([0; NDIMS]);
+
+    fn base(i: usize) -> Dim {
+        let mut d = [0i8; NDIMS];
+        if let Some(slot) = d.get_mut(i) {
+            *slot = 1;
+        }
+        Dim(d)
+    }
+
+    fn mul(self, o: Dim) -> Dim {
+        let mut d = [0i8; NDIMS];
+        for (x, (&a, &b)) in d.iter_mut().zip(self.0.iter().zip(o.0.iter())) {
+            *x = a.saturating_add(b);
+        }
+        Dim(d)
+    }
+
+    fn recip(self) -> Dim {
+        let mut d = [0i8; NDIMS];
+        for (x, &a) in d.iter_mut().zip(self.0.iter()) {
+            *x = a.saturating_neg();
+        }
+        Dim(d)
+    }
+
+    fn div(self, o: Dim) -> Dim {
+        self.mul(o.recip())
+    }
+
+    /// `true` if every exponent is zero.
+    pub fn is_none(self) -> bool {
+        self == Dim::NONE
+    }
+}
+
+/// Decimal scale: `Pow(p)` means value × 10^p is the SI quantity. `Any`
+/// marks quantities whose conversion factor is not a power of ten (bytes
+/// vs bits) — dimension checks still apply, scale checks are suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Pow(i32),
+    Any,
+}
+
+impl Scale {
+    fn mul(self, o: Scale) -> Scale {
+        match (self, o) {
+            (Scale::Pow(a), Scale::Pow(b)) => Scale::Pow(a.saturating_add(b)),
+            _ => Scale::Any,
+        }
+    }
+
+    fn recip(self) -> Scale {
+        match self {
+            Scale::Pow(a) => Scale::Pow(a.saturating_neg()),
+            Scale::Any => Scale::Any,
+        }
+    }
+}
+
+/// The inferred unit of an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// No information — absorbs everything, suppresses all checks.
+    Unknown,
+    /// A bare numeric literal: adopts the unit of whatever it meets.
+    Lit,
+    /// A known dimension vector at a known (or `Any`) decimal scale.
+    Known(Dim, Scale),
+}
+
+impl Unit {
+    fn known(i: usize, p: i32) -> Unit {
+        Unit::Known(Dim::base(i), Scale::Pow(p))
+    }
+
+    /// Product of two units (for `*`). `Lit` acts as dimensionless at 10^0.
+    fn mul(self, o: Unit) -> Unit {
+        match (self, o) {
+            (Unit::Unknown, _) | (_, Unit::Unknown) => Unit::Unknown,
+            (Unit::Lit, Unit::Lit) => Unit::Lit,
+            (Unit::Lit, u) | (u, Unit::Lit) => u,
+            (Unit::Known(d1, s1), Unit::Known(d2, s2)) => Unit::Known(d1.mul(d2), s1.mul(s2)),
+        }
+    }
+
+    /// Quotient (for `/`).
+    fn div(self, o: Unit) -> Unit {
+        self.mul(o.recip())
+    }
+
+    fn recip(self) -> Unit {
+        match self {
+            Unit::Unknown => Unit::Unknown,
+            Unit::Lit => Unit::Lit,
+            Unit::Known(d, s) => Unit::Known(d.recip(), s.recip()),
+        }
+    }
+
+    /// Shifts the scale by `-k` — the effect of multiplying the *value* by
+    /// the conversion factor `10^k` (`x_ns * 1e-9` is seconds).
+    fn shift(self, k: i32) -> Unit {
+        match self {
+            Unit::Known(d, Scale::Pow(p)) => Unit::Known(d, Scale::Pow(p.saturating_sub(k))),
+            u => u,
+        }
+    }
+
+    fn is_known(self) -> bool {
+        matches!(self, Unit::Known(..))
+    }
+
+    /// `true` if the unit carries a nontrivial dimension (time, energy, …).
+    pub fn is_dimensioned(self) -> bool {
+        matches!(self, Unit::Known(d, _) if !d.is_none())
+    }
+}
+
+/// How two `Known` units can disagree under an additive operator.
+enum Clash {
+    /// Dimensions compatible, scales compatible.
+    None(Unit),
+    /// Different dimension vectors (ns + J).
+    Dims,
+    /// Same dimensions, decimal scales differ by 10^k (pJ + J).
+    Scales(i32),
+}
+
+/// Unifies two units under an additive operator (`+`, `-`, `%`, compare,
+/// assign, `min`/`max`/`clamp`).
+fn unify(l: Unit, r: Unit) -> Clash {
+    match (l, r) {
+        (Unit::Unknown, u) | (u, Unit::Unknown) => Clash::None(u),
+        (Unit::Lit, u) | (u, Unit::Lit) => Clash::None(u),
+        (Unit::Known(d1, s1), Unit::Known(d2, s2)) => {
+            if d1 != d2 {
+                return Clash::Dims;
+            }
+            match (s1, s2) {
+                (Scale::Pow(a), Scale::Pow(b)) if a != b => Clash::Scales(a.saturating_sub(b)),
+                (Scale::Any, _) | (_, Scale::Any) => Clash::None(Unit::Known(d1, Scale::Any)),
+                _ => Clash::None(Unit::Known(d1, s1)),
+            }
+        }
+    }
+}
+
+/// `true` if two units are both `Known` and disagree (dimension or scale).
+fn known_mismatch(a: Unit, b: Unit) -> bool {
+    a.is_known() && b.is_known() && !matches!(unify(a, b), Clash::None(_))
+}
+
+impl core::fmt::Display for Unit {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Unit::Unknown => f.write_str("?"),
+            Unit::Lit => f.write_str("literal"),
+            Unit::Known(d, s) => render_known(*d, *s, f),
+        }
+    }
+}
+
+/// Names for the simple one-dimension units at their conventional scales.
+fn named_simple(d: Dim, s: Scale) -> Option<&'static str> {
+    let p = match s {
+        Scale::Pow(p) => p,
+        Scale::Any => return None,
+    };
+    let table: &[(usize, i32, &str)] = &[
+        (TIME, -9, "ns"),
+        (TIME, -6, "us"),
+        (TIME, -3, "ms"),
+        (TIME, 0, "s"),
+        (ENERGY, -12, "pJ"),
+        (ENERGY, -9, "nJ"),
+        (ENERGY, -6, "uJ"),
+        (ENERGY, -3, "mJ"),
+        (ENERGY, 0, "J"),
+        (IMAGES, 0, "images"),
+        (BITS, 0, "bits"),
+        (SPIKES, 0, "spikes"),
+        (CYCLES, 0, "cycles"),
+    ];
+    for &(i, pow, name) in table {
+        if d == Dim::base(i) && p == pow {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn render_known(d: Dim, s: Scale, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+    if d.is_none() {
+        return match s {
+            Scale::Pow(0) => f.write_str("dimensionless"),
+            Scale::Pow(p) => write!(f, "10^{p}"),
+            Scale::Any => f.write_str("dimensionless (scale ?)"),
+        };
+    }
+    if let Some(n) = named_simple(d, s) {
+        return f.write_str(n);
+    }
+    // Watts and hertz.
+    if d == Dim::base(ENERGY).div(Dim::base(TIME)) && s == Scale::Pow(0) {
+        return f.write_str("W");
+    }
+    if d == Dim::base(TIME).recip() && s == Scale::Pow(0) {
+        return f.write_str("Hz");
+    }
+    // `X/base` for a single positive and single negative exponent.
+    let pos: Vec<usize> = (0..NDIMS).filter(|&i| d.0[i] == 1).collect();
+    let neg: Vec<usize> = (0..NDIMS).filter(|&i| d.0[i] == -1).collect();
+    let clean = (0..NDIMS).all(|i| (-1..=1).contains(&d.0[i]));
+    if clean && pos.len() == 1 && neg.len() == 1 {
+        if let Some(num) = named_simple(Dim::base(pos[0]), s) {
+            let den = ["s", "J", "image", "bit", "spike", "cycle"][neg[0]];
+            return write!(f, "{num}/{den}");
+        }
+    }
+    // Generic fallback: 10^p · s^a·J^b·…
+    match s {
+        Scale::Pow(0) => {}
+        Scale::Pow(p) => write!(f, "10^{p} ")?,
+        Scale::Any => f.write_str("10^? ")?,
+    }
+    let names = ["s", "J", "images", "bits", "spikes", "cycles"];
+    let mut first = true;
+    for (i, name) in names.iter().enumerate() {
+        if d.0[i] != 0 {
+            if !first {
+                f.write_str("·")?;
+            }
+            first = false;
+            if d.0[i] == 1 {
+                f.write_str(name)?;
+            } else {
+                write!(f, "{}^{}", name, d.0[i])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- unit seeding: suffixes and the signature table -------------------------
+
+/// Names whose unit the suffix alone under-specifies — per-event rates and
+/// totals the core model composes (validated by hand against `timing.rs`,
+/// `perf.rs`, `energy.rs`: `compute_cycles * cycle_ns * 1e-9` must come
+/// out as seconds, `spikes * read_energy_pj * 1e-12` as joules).
+pub const NAME_UNITS: &[(&str, Unit)] = &[
+    ("cycle_ns", per(TIME, -9, CYCLES)),
+    ("cycle_testing_ns", per(TIME, -9, CYCLES)),
+    ("cycle_training_ns", per(TIME, -9, CYCLES)),
+    ("read_latency_ns", per(TIME, -9, SPIKES)),
+    ("write_latency_ns", per(TIME, -9, SPIKES)),
+    ("read_energy_pj", per(ENERGY, -12, SPIKES)),
+    ("write_energy_pj", per(ENERGY, -12, SPIKES)),
+    (
+        "energy_joules",
+        Unit::Known(Dim([0, 1, 0, 0, 0, 0]), Scale::Pow(0)),
+    ),
+    ("throughput", per(IMAGES, 0, TIME)),
+];
+
+/// `base(num) / base(den)` at scale 10^p, as a const expression.
+const fn per(num: usize, p: i32, den: usize) -> Unit {
+    let mut d = [0i8; NDIMS];
+    d[num] = 1;
+    d[den] -= 1; // num == den gives a net 0 — never used that way
+    Unit::Known(Dim(d), Scale::Pow(p))
+}
+
+/// One suffix word → its unit, or `Unknown`.
+fn word_unit(w: &str) -> Unit {
+    match w {
+        "ns" => Unit::known(TIME, -9),
+        "us" => Unit::known(TIME, -6),
+        "ms" => Unit::known(TIME, -3),
+        "s" | "sec" | "secs" | "second" | "seconds" => Unit::known(TIME, 0),
+        "pj" => Unit::known(ENERGY, -12),
+        "nj" => Unit::known(ENERGY, -9),
+        "uj" => Unit::known(ENERGY, -6),
+        "mj" => Unit::known(ENERGY, -3),
+        "j" | "joule" | "joules" => Unit::known(ENERGY, 0),
+        "w" | "watt" | "watts" => Unit::Known(Dim([-1, 1, 0, 0, 0, 0]), Scale::Pow(0)),
+        "uw" => Unit::Known(Dim([-1, 1, 0, 0, 0, 0]), Scale::Pow(-6)),
+        "mw" => Unit::Known(Dim([-1, 1, 0, 0, 0, 0]), Scale::Pow(-3)),
+        "kw" => Unit::Known(Dim([-1, 1, 0, 0, 0, 0]), Scale::Pow(3)),
+        "hz" => Unit::Known(Dim([-1, 0, 0, 0, 0, 0]), Scale::Pow(0)),
+        "khz" => Unit::Known(Dim([-1, 0, 0, 0, 0, 0]), Scale::Pow(3)),
+        "mhz" => Unit::Known(Dim([-1, 0, 0, 0, 0, 0]), Scale::Pow(6)),
+        "ghz" => Unit::Known(Dim([-1, 0, 0, 0, 0, 0]), Scale::Pow(9)),
+        "cycle" | "cycles" => Unit::known(CYCLES, 0),
+        "image" | "images" | "img" | "imgs" => Unit::known(IMAGES, 0),
+        "bit" | "bits" => Unit::known(BITS, 0),
+        "spike" | "spikes" => Unit::known(SPIKES, 0),
+        // Bytes are bits at a non-decimal factor: dimension checks apply,
+        // scale checks are suppressed.
+        "byte" | "bytes" => Unit::Known(Dim::base(BITS), Scale::Any),
+        _ => Unit::Unknown,
+    }
+}
+
+/// Single-segment names that are unambiguously units on their own. Bare
+/// `s`/`j`/`w` stay `Unknown`: they are far more often a string, an index,
+/// or a weight than a second.
+const SINGLE_WORD_OK: &[&str] = &[
+    "ns", "us", "ms", "pj", "nj", "uj", "mj", "hz", "khz", "mhz", "ghz", "cycles", "images",
+    "bits", "spikes", "bytes", "joules", "watts", "seconds",
+];
+
+/// Derives a unit from an identifier's suffix convention: the last `_`
+/// segment names the unit (`total_ns`, `energy_pj`, `n_images`), with
+/// trailing `_per_<unit>` pairs building a denominator
+/// (`scrub_uj_per_image`, `images_per_sec`). Any unrecognised word in the
+/// chain makes the whole name `Unknown`.
+pub fn suffix_unit(name: &str) -> Unit {
+    let lower = name.to_ascii_lowercase();
+    let segs: Vec<&str> = lower.split('_').filter(|s| !s.is_empty()).collect();
+    if segs.is_empty() {
+        return Unit::Unknown;
+    }
+    let mut end = segs.len();
+    let mut denom = Unit::Lit; // neutral under mul
+    while end >= 3 && segs[end - 2] == "per" {
+        let d = word_unit(segs[end - 1]);
+        if !d.is_known() {
+            return Unit::Unknown;
+        }
+        denom = denom.mul(d);
+        end -= 2;
+    }
+    let last = segs[end - 1];
+    if end == 1 && segs.len() == 1 && !SINGLE_WORD_OK.contains(&last) {
+        return Unit::Unknown;
+    }
+    let num = word_unit(last);
+    if !num.is_known() {
+        return Unit::Unknown;
+    }
+    num.div(denom)
+}
+
+/// Unit of a name: the declarative [`NAME_UNITS`] table first, then the
+/// suffix convention.
+pub fn name_unit(name: &str) -> Unit {
+    for (n, u) in NAME_UNITS {
+        if *n == name {
+            return *u;
+        }
+    }
+    suffix_unit(name)
+}
+
+// ---- power-of-ten conversion literals ---------------------------------------
+
+/// If `e` is a pure power of ten written in e-notation (`1e-12`, `1E9`,
+/// `1.0e3`), returns its exponent `k`. Plain magnitudes (`100.0`,
+/// `86_400.0`) and non-power values (`2.5e3`) return `None`: only an
+/// explicit `10^k` in scientific notation reads as a *unit conversion*.
+fn pow10_of(e: &Expr) -> Option<i32> {
+    let ExprKind::Num(text) = &e.kind else {
+        return None;
+    };
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    if t.starts_with("0x") || t.starts_with("0X") || !t.contains(['e', 'E']) {
+        return None;
+    }
+    // Strip a numeric type suffix (`1e-3f64`), keeping the exponent digits.
+    let t = t
+        .strip_suffix("f64")
+        .or_else(|| t.strip_suffix("f32"))
+        .unwrap_or(&t);
+    let v: f64 = t.parse().ok()?;
+    if !(v.is_finite() && v > 0.0) {
+        return None;
+    }
+    let k = v.log10().round();
+    if (-300.0..=300.0).contains(&k) && 10f64.powi(k as i32) == v {
+        Some(k as i32)
+    } else {
+        None
+    }
+}
+
+// ---- the analysis -----------------------------------------------------------
+
+/// Gate configuration for [`findings`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// PL072 fires on struct-literal fields and JSON format keys defined in
+    /// files whose path contains one of these — the report/bench surface
+    /// whose field names are the schema downstream tools read.
+    pub sink_paths: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            sink_paths: vec![
+                "bench/src/".to_string(),
+                "core/src/report.rs".to_string(),
+                "core/src/perf.rs".to_string(),
+                "core/src/endurance.rs".to_string(),
+                "core/src/energy.rs".to_string(),
+            ],
+        }
+    }
+}
+
+/// Per-function unit facts, for tests and downstream tooling.
+#[derive(Debug)]
+pub struct Analysis {
+    /// fn index → unit declared by its name (table/suffix).
+    pub declared: Vec<Unit>,
+    /// fn index → effective return unit after fixed-point inference
+    /// (declared if `Known`, inferred otherwise).
+    pub effective: Vec<Unit>,
+}
+
+/// Immutable evaluation context shared by all functions.
+struct Cx<'a> {
+    ws: &'a Workspace,
+    opts: &'a Options,
+    /// fn index → parsed body statements.
+    bodies: Vec<Vec<Stmt>>,
+    /// fn index → parameter names.
+    params: Vec<Vec<String>>,
+    /// fn index → current effective return unit (fixed-point state).
+    effective: Vec<Unit>,
+}
+
+/// Mutable diagnostic output. `report == false` during the fixed-point
+/// sweeps, `true` on the final reporting pass.
+struct Out {
+    report: bool,
+    diags: Vec<Diagnostic>,
+    /// `(path, "pl070"/"pl071"/"pl072")` → count.
+    counts: BTreeMap<(String, String), usize>,
+}
+
+impl Out {
+    fn emit(&mut self, code: &'static str, path: &str, line: usize, msg: String, help: &str) {
+        if !self.report {
+            return;
+        }
+        self.diags.push(Diagnostic::warning(
+            code,
+            format!("{path}:{line}"),
+            msg,
+            help,
+        ));
+        let key = (path.to_string(), code.to_ascii_lowercase());
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+}
+
+/// Per-function evaluation scope.
+struct FnScope<'a> {
+    f: &'a FnItem,
+    path: &'a str,
+    /// `true` if this file is on the PL072 sink surface.
+    sink: bool,
+    /// Units of `return` expressions collected while evaluating the body.
+    ret_units: Vec<Unit>,
+}
+
+type Env = BTreeMap<String, Unit>;
+
+const HELP_PL070: &str = "align the operand suffixes or insert the explicit power-of-ten \
+     conversion (e.g. `* 1e-12` for pJ->J)";
+const HELP_PL071: &str = "rename to match the computed unit, or fix the conversion so the \
+     value matches the name";
+const HELP_PL072: &str = "suffix the field/key with its unit (…_ns, …_pj, …_per_image) so \
+     the emitted schema is self-describing";
+
+/// Format-family macros whose first string argument is scanned for
+/// `\"key\": {placeholder}` JSON pairs in sink files.
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "write",
+    "writeln",
+];
+
+fn in_sink(path: &str, opts: &Options) -> bool {
+    opts.sink_paths.iter().any(|p| path.contains(p.as_str()))
+}
+
+/// Evaluates one expression to its unit, emitting diagnostics on the way.
+fn eval(cx: &Cx<'_>, scope: &mut FnScope<'_>, out: &mut Out, e: &Expr, env: &mut Env) -> Unit {
+    match &e.kind {
+        ExprKind::Num(_) => Unit::Lit,
+        ExprKind::Str(_) => Unit::Unknown,
+        ExprKind::Path(segs) => match segs.as_slice() {
+            [one] => env.get(one).copied().unwrap_or_else(|| name_unit(one)),
+            _ => segs.last().map(|s| name_unit(s)).unwrap_or(Unit::Unknown),
+        },
+        ExprKind::Field { base, name } => {
+            eval(cx, scope, out, base, env);
+            name_unit(name)
+        }
+        ExprKind::MethodCall { base, name, args } => {
+            let recv = eval(cx, scope, out, base, env);
+            let arg_units: Vec<Unit> = args.iter().map(|a| eval(cx, scope, out, a, env)).collect();
+            method_unit(cx, scope, out, e, base, name, recv, &arg_units)
+        }
+        ExprKind::Call { path, args } => {
+            let arg_units: Vec<Unit> = args.iter().map(|a| eval(cx, scope, out, a, env)).collect();
+            call_unit(cx, scope, path, &arg_units, e.span.line)
+        }
+        ExprKind::Macro { name, args } => {
+            let arg_units: Vec<Unit> = args.iter().map(|a| eval(cx, scope, out, a, env)).collect();
+            if scope.sink && FORMAT_MACROS.contains(&name.as_str()) {
+                scan_json_sink(cx, scope, out, e, args, &arg_units, env);
+            }
+            Unit::Unknown
+        }
+        ExprKind::Unary { op, operand } => {
+            let u = eval(cx, scope, out, operand, env);
+            match op {
+                '-' | '*' | '&' => u,
+                _ => Unit::Unknown,
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => eval_binary(cx, scope, out, e, op, lhs, rhs, env),
+        ExprKind::Cast { operand, .. } => eval(cx, scope, out, operand, env),
+        ExprKind::Index { base, index } => {
+            eval(cx, scope, out, index, env);
+            eval(cx, scope, out, base, env)
+        }
+        ExprKind::StructLit { path, fields } => {
+            for fi in fields {
+                let Some(v) = &fi.value else { continue };
+                let u = eval(cx, scope, out, v, env);
+                check_field(scope, out, &fi.name, u, v.span.line, path.last());
+            }
+            Unit::Unknown
+        }
+        ExprKind::Block(stmts) => {
+            let mut inner = env.clone();
+            eval_block(cx, scope, out, stmts, &mut inner, false)
+        }
+        ExprKind::Opaque(stmts) => {
+            let mut inner = env.clone();
+            eval_block(cx, scope, out, stmts, &mut inner, false);
+            Unit::Unknown
+        }
+    }
+}
+
+/// Additive operators checked by PL070 (plus the comparison family).
+fn is_additive(op: &str) -> bool {
+    matches!(
+        op,
+        "+" | "-" | "%" | "+=" | "-=" | "%=" | "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_binary(
+    cx: &Cx<'_>,
+    scope: &mut FnScope<'_>,
+    out: &mut Out,
+    whole: &Expr,
+    op: &str,
+    lhs: &Expr,
+    rhs: &Expr,
+    env: &mut Env,
+) -> Unit {
+    match op {
+        "*" => {
+            if let Some(k) = pow10_of(rhs) {
+                let l = eval(cx, scope, out, lhs, env);
+                return l.shift(k);
+            }
+            if let Some(k) = pow10_of(lhs) {
+                let r = eval(cx, scope, out, rhs, env);
+                return r.shift(k);
+            }
+            let l = eval(cx, scope, out, lhs, env);
+            let r = eval(cx, scope, out, rhs, env);
+            l.mul(r)
+        }
+        "/" => {
+            let l = eval(cx, scope, out, lhs, env);
+            if let Some(k) = pow10_of(rhs) {
+                return l.shift(-k);
+            }
+            let r = eval(cx, scope, out, rhs, env);
+            l.div(r)
+        }
+        _ if is_additive(op) => {
+            let l = eval(cx, scope, out, lhs, env);
+            let r = eval(cx, scope, out, rhs, env);
+            let result = check_add(scope, out, op, l, r, whole.span.line);
+            if matches!(
+                op,
+                "=" | "+=" | "-=" | "%=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+            ) {
+                Unit::Unknown
+            } else {
+                result
+            }
+        }
+        _ => {
+            // Shifts, bitwise ops, ranges, `&&`/`||`, `*=`/`/=`: traverse
+            // for nested diagnostics, result unknown.
+            eval(cx, scope, out, lhs, env);
+            eval(cx, scope, out, rhs, env);
+            Unit::Unknown
+        }
+    }
+}
+
+/// PL070 check at an additive meeting point; returns the unified unit.
+fn check_add(
+    scope: &mut FnScope<'_>,
+    out: &mut Out,
+    op: &str,
+    l: Unit,
+    r: Unit,
+    line: usize,
+) -> Unit {
+    match unify(l, r) {
+        Clash::None(u) => u,
+        Clash::Dims => {
+            out.emit(
+                diag::SEM_UNIT_MIXED,
+                scope.path,
+                line,
+                format!(
+                    "mixed units in `{op}` inside `{}`: {l} vs {r}",
+                    scope.f.qualified()
+                ),
+                HELP_PL070,
+            );
+            Unit::Unknown
+        }
+        Clash::Scales(k) => {
+            out.emit(
+                diag::SEM_UNIT_MIXED,
+                scope.path,
+                line,
+                format!(
+                    "same dimension, different scales in `{op}` inside `{}`: {l} vs {r} \
+                     (operands differ by 10^{k} — missing conversion factor?)",
+                    scope.f.qualified()
+                ),
+                HELP_PL070,
+            );
+            Unit::Unknown
+        }
+    }
+}
+
+/// PL072 (sink files) / PL070 (elsewhere) check for a struct-literal field.
+fn check_field(
+    scope: &mut FnScope<'_>,
+    out: &mut Out,
+    field: &str,
+    value: Unit,
+    line: usize,
+    struct_name: Option<&String>,
+) {
+    if !value.is_dimensioned() {
+        return;
+    }
+    let declared = name_unit(field);
+    let ctx = struct_name.map(|s| s.as_str()).unwrap_or("struct");
+    if scope.sink {
+        if !declared.is_known() {
+            out.emit(
+                diag::SEM_UNIT_SINK,
+                scope.path,
+                line,
+                format!("sink field `{ctx}.{field}` receives {value} but its name carries no unit suffix"),
+                HELP_PL072,
+            );
+        } else if known_mismatch(declared, value) {
+            out.emit(
+                diag::SEM_UNIT_SINK,
+                scope.path,
+                line,
+                format!("sink field `{ctx}.{field}` is suffixed {declared} but receives {value}"),
+                HELP_PL072,
+            );
+        }
+    } else if known_mismatch(declared, value) {
+        out.emit(
+            diag::SEM_UNIT_MIXED,
+            scope.path,
+            line,
+            format!("field `{ctx}.{field}` is suffixed {declared} but receives {value}"),
+            HELP_PL070,
+        );
+    }
+}
+
+/// Unit of a method call, via the builtin tables or call-graph resolution.
+#[allow(clippy::too_many_arguments)]
+fn method_unit(
+    cx: &Cx<'_>,
+    scope: &mut FnScope<'_>,
+    out: &mut Out,
+    whole: &Expr,
+    base: &Expr,
+    name: &str,
+    recv: Unit,
+    args: &[Unit],
+) -> Unit {
+    match name {
+        // Unit-preserving numeric methods.
+        "abs" | "round" | "floor" | "ceil" | "trunc" | "clone" | "to_owned" | "copysign" => recv,
+        // Additive family: operands must agree.
+        "max" | "min" | "saturating_add" | "saturating_sub" | "rem_euclid" | "clamp" => {
+            let mut u = recv;
+            for &a in args {
+                u = check_add(scope, out, name, u, a, whole.span.line);
+            }
+            u
+        }
+        "div_ceil" | "div_euclid" => recv.div(args.first().copied().unwrap_or(Unit::Unknown)),
+        "recip" => recv.recip(),
+        "mul_add" => {
+            // self * a + b
+            let prod = recv.mul(args.first().copied().unwrap_or(Unit::Unknown));
+            let b = args.get(1).copied().unwrap_or(Unit::Unknown);
+            check_add(scope, out, "mul_add", prod, b, whole.span.line)
+        }
+        // Duration accessors carry absolute units.
+        "as_secs_f64" | "as_secs_f32" => Unit::known(TIME, 0),
+        "as_nanos" => Unit::known(TIME, -9),
+        "as_micros" => Unit::known(TIME, -6),
+        "as_millis" => Unit::known(TIME, -3),
+        "signum" => Unit::Lit,
+        "sqrt" | "powi" | "powf" | "ln" | "exp" | "exp2" | "log" | "log2" | "log10" | "cbrt" => {
+            Unit::Unknown
+        }
+        _ => {
+            let recv_kind = match &base.kind {
+                ExprKind::Path(segs) if segs.len() == 1 && segs[0] == "self" => Recv::SelfDot,
+                _ => Recv::Dot,
+            };
+            resolve_unit(cx, scope, name, recv_kind, whole.span.line)
+        }
+    }
+}
+
+/// Unit of a free/associated call: numeric `from` is identity, otherwise
+/// resolve through the call graph, falling back to the name convention.
+fn call_unit(
+    cx: &Cx<'_>,
+    scope: &FnScope<'_>,
+    path: &[String],
+    args: &[Unit],
+    line: usize,
+) -> Unit {
+    let Some(name) = path.last() else {
+        return Unit::Unknown;
+    };
+    if path.len() >= 2 && name == "from" {
+        let ty = &path[path.len() - 2];
+        if matches!(
+            ty.as_str(),
+            "f64"
+                | "f32"
+                | "u8"
+                | "u16"
+                | "u32"
+                | "u64"
+                | "usize"
+                | "i8"
+                | "i16"
+                | "i32"
+                | "i64"
+                | "isize"
+        ) {
+            return args.first().copied().unwrap_or(Unit::Unknown);
+        }
+    }
+    let recv = if path.len() == 1 {
+        Recv::Plain
+    } else {
+        let ty = &path[path.len() - 2];
+        let ty = if ty == "Self" {
+            scope.f.self_ty.clone().unwrap_or_else(|| ty.clone())
+        } else {
+            ty.clone()
+        };
+        Recv::Ty(ty)
+    };
+    resolve_unit(cx, scope, name, recv, line)
+}
+
+/// Resolves a call through the workspace graph; if every candidate agrees
+/// on one `Known` effective unit, that wins, otherwise the name convention.
+fn resolve_unit(cx: &Cx<'_>, scope: &FnScope<'_>, name: &str, recv: Recv, line: usize) -> Unit {
+    let site = CallSite {
+        name: name.to_string(),
+        recv,
+        line,
+    };
+    let targets = cx.ws.resolve(scope.f, &site);
+    let mut agreed: Option<Unit> = None;
+    let mut consistent = true;
+    for t in targets {
+        if let Some(u @ Unit::Known(..)) = cx.effective.get(t).copied() {
+            match agreed {
+                None => agreed = Some(u),
+                Some(prev) if prev != u => consistent = false,
+                Some(_) => {}
+            }
+        }
+    }
+    match (agreed, consistent) {
+        (Some(u), true) => u,
+        _ => name_unit(name),
+    }
+}
+
+/// Scans a `format!`-family template in a sink file for `\"key\": {…}`
+/// JSON pairs and checks each key's suffix against the paired value's unit.
+#[allow(clippy::too_many_arguments)]
+fn scan_json_sink(
+    cx: &Cx<'_>,
+    scope: &mut FnScope<'_>,
+    out: &mut Out,
+    whole: &Expr,
+    args: &[Expr],
+    arg_units: &[Unit],
+    env: &mut Env,
+) {
+    // The template is the first string-literal argument; positional
+    // placeholders map to the arguments after it.
+    let Some(tmpl_idx) = args.iter().position(|a| matches!(a.kind, ExprKind::Str(_))) else {
+        return;
+    };
+    let ExprKind::Str(raw) = &args[tmpl_idx].kind else {
+        return;
+    };
+    // Unit of the argument feeding a placeholder, unwrapping single-arg
+    // JSON/format helpers (`json_num(x)`) to their payload. Re-evaluation
+    // runs with reporting off so nothing is double-emitted.
+    let value_unit = |scope: &mut FnScope<'_>, out: &mut Out, env: &mut Env, i: usize| -> Unit {
+        let Some(arg) = args.get(i) else {
+            return Unit::Unknown;
+        };
+        if let ExprKind::Call { path, args: inner } = &arg.kind {
+            let helper = path
+                .last()
+                .is_some_and(|n| n.starts_with("json") || n.starts_with("fmt"));
+            if helper && inner.len() == 1 {
+                let was = out.report;
+                out.report = false;
+                let u = eval(cx, scope, out, &inner[0], env);
+                out.report = was;
+                return u;
+            }
+        }
+        arg_units.get(i).copied().unwrap_or(Unit::Unknown)
+    };
+
+    let bytes = raw.as_bytes();
+    let mut i = 0usize;
+    let mut positional = 0usize; // count of positional placeholders seen
+    let mut pending_key: Option<String> = None;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' if bytes.get(i + 1) == Some(&b'{') => i += 2,
+            b'}' if bytes.get(i + 1) == Some(&b'}') => i += 2,
+            b'{' => {
+                // Placeholder: `{}`, `{:spec}`, `{name}`, `{0}`.
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'}' {
+                    j += 1;
+                }
+                let inner = raw.get(start..j).unwrap_or("");
+                let head = inner.split(':').next().unwrap_or("");
+                let unit = if head.is_empty() {
+                    let u = value_unit(scope, out, env, tmpl_idx + 1 + positional);
+                    positional += 1;
+                    u
+                } else if let Ok(n) = head.parse::<usize>() {
+                    value_unit(scope, out, env, tmpl_idx + 1 + n)
+                } else if head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    env.get(head).copied().unwrap_or_else(|| name_unit(head))
+                } else {
+                    Unit::Unknown
+                };
+                if let Some(key) = pending_key.take() {
+                    check_json_key(scope, out, &key, unit, whole.span.line);
+                }
+                i = j.saturating_add(1);
+            }
+            // A JSON key: `\"ident\":` in a normal literal, `"ident":` in
+            // a raw literal. Either way the quote chars are present.
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                // Closing quote: bare `"` in a raw literal, or the escape
+                // `\"` in a normal literal (backslash first in source).
+                let after = if bytes.get(j) == Some(&b'"') {
+                    Some(j + 1)
+                } else if bytes.get(j) == Some(&b'\\') && bytes.get(j + 1) == Some(&b'"') {
+                    Some(j + 2)
+                } else {
+                    None
+                };
+                if let Some(after) = after {
+                    if j > start && bytes.get(after) == Some(&b':') {
+                        pending_key = raw.get(start..j).map(|s| s.to_string());
+                        i = after + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// PL072 check for one `"key": value` pair in a JSON template.
+fn check_json_key(scope: &mut FnScope<'_>, out: &mut Out, key: &str, value: Unit, line: usize) {
+    if !value.is_dimensioned() {
+        return;
+    }
+    let declared = name_unit(key);
+    if !declared.is_known() {
+        out.emit(
+            diag::SEM_UNIT_SINK,
+            scope.path,
+            line,
+            format!("JSON key \"{key}\" receives {value} but carries no unit suffix"),
+            HELP_PL072,
+        );
+    } else if known_mismatch(declared, value) {
+        out.emit(
+            diag::SEM_UNIT_SINK,
+            scope.path,
+            line,
+            format!("JSON key \"{key}\" is suffixed {declared} but receives {value}"),
+            HELP_PL072,
+        );
+    }
+}
+
+/// Evaluates a statement list; returns the tail expression's unit.
+/// `top_level` marks the function body itself, whose tail is a return.
+fn eval_block(
+    cx: &Cx<'_>,
+    scope: &mut FnScope<'_>,
+    out: &mut Out,
+    stmts: &[Stmt],
+    env: &mut Env,
+    top_level: bool,
+) -> Unit {
+    let mut tail = Unit::Unknown;
+    for s in stmts {
+        match s {
+            Stmt::Let { name, init, span } => {
+                let u = init
+                    .as_ref()
+                    .map(|e| eval(cx, scope, out, e, env))
+                    .unwrap_or(Unit::Unknown);
+                if name.is_empty() {
+                    continue;
+                }
+                let declared = name_unit(name);
+                if known_mismatch(declared, u) {
+                    out.emit(
+                        diag::SEM_UNIT_DECLARED,
+                        scope.path,
+                        span.line,
+                        format!(
+                            "binding `{name}` in `{}` is suffixed {declared} but its \
+                             initializer computes {u}",
+                            scope.f.qualified()
+                        ),
+                        HELP_PL071,
+                    );
+                }
+                env.insert(name.clone(), if declared.is_known() { declared } else { u });
+            }
+            Stmt::Expr(e) => {
+                eval(cx, scope, out, e, env);
+            }
+            Stmt::Ret(e, _) => {
+                let u = e
+                    .as_ref()
+                    .map(|e| eval(cx, scope, out, e, env))
+                    .unwrap_or(Unit::Unknown);
+                scope.ret_units.push(u);
+            }
+            Stmt::Tail(e) => {
+                tail = eval(cx, scope, out, e, env);
+                if top_level {
+                    scope.ret_units.push(tail);
+                }
+            }
+        }
+    }
+    tail
+}
+
+/// Joins the units of all return sites: one agreed `Known` unit wins,
+/// disagreement or no information is `Unknown`.
+fn join_returns(units: &[Unit]) -> Unit {
+    let mut agreed: Option<Unit> = None;
+    for &u in units {
+        if !u.is_known() {
+            continue;
+        }
+        match agreed {
+            None => agreed = Some(u),
+            Some(prev) if known_mismatch(prev, u) => return Unit::Unknown,
+            Some(_) => {}
+        }
+    }
+    agreed.unwrap_or(Unit::Unknown)
+}
+
+/// Evaluates one function body; returns its inferred return unit.
+fn infer_fn(cx: &Cx<'_>, i: usize, out: &mut Out) -> Unit {
+    let Some(f) = cx.ws.fns.get(i) else {
+        return Unit::Unknown;
+    };
+    let Some(file) = cx.ws.files.get(f.file) else {
+        return Unit::Unknown;
+    };
+    let empty: Vec<Stmt> = Vec::new();
+    let body = cx.bodies.get(i).unwrap_or(&empty);
+    let mut scope = FnScope {
+        f,
+        path: &file.path,
+        sink: in_sink(&file.path, cx.opts),
+        ret_units: Vec::new(),
+    };
+    let mut env: Env = Env::new();
+    for p in cx.params.get(i).map(Vec::as_slice).unwrap_or(&[]) {
+        let u = name_unit(p);
+        if u.is_known() {
+            env.insert(p.clone(), u);
+        }
+    }
+    eval_block(cx, &mut scope, out, body, &mut env, true);
+    let inferred = join_returns(&scope.ret_units);
+
+    // PL071 at the function level, reporting pass only.
+    let declared = name_unit(&f.name);
+    if out.report && known_mismatch(declared, inferred) {
+        out.emit(
+            diag::SEM_UNIT_DECLARED,
+            scope.path,
+            f.line,
+            format!(
+                "fn `{}` is suffixed {declared} but its body computes {inferred}",
+                f.qualified()
+            ),
+            HELP_PL071,
+        );
+    }
+    if declared.is_known() {
+        declared
+    } else {
+        inferred
+    }
+}
+
+fn build_cx<'a>(ws: &'a Workspace, opts: &'a Options) -> Cx<'a> {
+    let n = ws.fns.len();
+    let mut bodies = Vec::with_capacity(n);
+    let mut params = Vec::with_capacity(n);
+    let mut effective = Vec::with_capacity(n);
+    for f in &ws.fns {
+        let (body, names) = match (f.body, ws.files.get(f.file)) {
+            (Some((lo, hi)), Some(file)) => (
+                expr::parse_body(&file.src, &file.toks, lo, hi),
+                expr::param_names(&file.src, &file.toks, lo),
+            ),
+            _ => (Vec::new(), Vec::new()),
+        };
+        bodies.push(body);
+        params.push(names);
+        effective.push(name_unit(&f.name));
+    }
+    Cx {
+        ws,
+        opts,
+        bodies,
+        params,
+        effective,
+    }
+}
+
+/// Runs the fixed-point return-unit inference (no diagnostics).
+pub fn analyze(ws: &Workspace, opts: &Options) -> Analysis {
+    let mut cx = build_cx(ws, opts);
+    let mut out = Out {
+        report: false,
+        diags: Vec::new(),
+        counts: BTreeMap::new(),
+    };
+    run_fixpoint(&mut cx, &mut out);
+    Analysis {
+        declared: ws.fns.iter().map(|f| name_unit(&f.name)).collect(),
+        effective: cx.effective,
+    }
+}
+
+fn run_fixpoint(cx: &mut Cx<'_>, out: &mut Out) {
+    for _ in 0..8 {
+        let mut changed = false;
+        for i in 0..cx.ws.fns.len() {
+            let u = infer_fn(cx, i, out);
+            if cx.effective.get(i).copied() != Some(u) {
+                if let Some(slot) = cx.effective.get_mut(i) {
+                    *slot = u;
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// PL070/PL071/PL072 findings over the whole workspace, plus per-file
+/// per-code counts for the `src-lint --semantic` allowlist discipline.
+/// Deterministic order (workspace file/function order).
+pub fn findings(
+    ws: &Workspace,
+    opts: &Options,
+) -> (Vec<Diagnostic>, BTreeMap<(String, String), usize>) {
+    let mut cx = build_cx(ws, opts);
+    let mut out = Out {
+        report: false,
+        diags: Vec::new(),
+        counts: BTreeMap::new(),
+    };
+    run_fixpoint(&mut cx, &mut out);
+    out.report = true;
+    for i in 0..cx.ws.fns.len() {
+        infer_fn(&cx, i, &mut out);
+    }
+    (out.diags, out.counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::build(vec![(
+            "crates/core/src/timing.rs".to_string(),
+            src.to_string(),
+        )])
+    }
+
+    fn sink_ws(src: &str) -> Workspace {
+        Workspace::build(vec![(
+            "crates/bench/src/report.rs".to_string(),
+            src.to_string(),
+        )])
+    }
+
+    fn run(w: &Workspace) -> Vec<Diagnostic> {
+        findings(w, &Options::default()).0
+    }
+
+    /// Effective unit of the first fn named `name`.
+    fn unit_of(w: &Workspace, name: &str) -> Unit {
+        let a = analyze(w, &Options::default());
+        let i = w
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn `{name}`"));
+        a.effective[i]
+    }
+
+    const NS: Unit = Unit::Known(Dim([1, 0, 0, 0, 0, 0]), Scale::Pow(-9));
+    const S: Unit = Unit::Known(Dim([1, 0, 0, 0, 0, 0]), Scale::Pow(0));
+    const J: Unit = Unit::Known(Dim([0, 1, 0, 0, 0, 0]), Scale::Pow(0));
+    const W: Unit = Unit::Known(Dim([-1, 1, 0, 0, 0, 0]), Scale::Pow(0));
+
+    #[test]
+    fn suffixes_parse_to_units() {
+        assert_eq!(suffix_unit("total_ns"), NS);
+        assert_eq!(suffix_unit("time_s"), S);
+        assert_eq!(suffix_unit("energy_j"), J);
+        assert_eq!(suffix_unit("power_w"), W);
+        assert_eq!(
+            suffix_unit("scrub_uj_per_image"),
+            Unit::Known(Dim([0, 1, -1, 0, 0, 0]), Scale::Pow(-6))
+        );
+        assert_eq!(
+            suffix_unit("images_per_sec"),
+            Unit::Known(Dim([-1, 0, 1, 0, 0, 0]), Scale::Pow(0))
+        );
+        // Ambiguous bare single letters stay unknown.
+        assert_eq!(suffix_unit("s"), Unit::Unknown);
+        assert_eq!(suffix_unit("j"), Unit::Unknown);
+        assert_eq!(suffix_unit("w"), Unit::Unknown);
+        assert_eq!(suffix_unit("weights"), Unit::Unknown);
+        // The signature table refines per-event rates.
+        assert_eq!(
+            name_unit("cycle_ns"),
+            Unit::Known(Dim([1, 0, 0, 0, 0, -1]), Scale::Pow(-9))
+        );
+        assert_eq!(
+            name_unit("read_energy_pj"),
+            Unit::Known(Dim([0, 1, 0, 0, -1, 0]), Scale::Pow(-12))
+        );
+    }
+
+    #[test]
+    fn representative_timing_energy_expressions_infer_correctly() {
+        // The perf.rs shape: cycles × ns/cycle × 1e-9 → seconds.
+        let w = ws(
+            "fn time_of(compute_cycles: f64, cycle_ns: f64, scrub_ns: f64) -> f64 {\n\
+             (compute_cycles * cycle_ns + scrub_ns) * 1e-9\n}\n\
+             fn power_of(energy_j: f64, time_s: f64) -> f64 { energy_j / time_s }\n\
+             fn e_of(spikes: f64, read_energy_pj: f64) -> f64 { spikes * read_energy_pj * 1e-12 }\n",
+        );
+        assert_eq!(unit_of(&w, "time_of"), S);
+        assert_eq!(unit_of(&w, "power_of"), W);
+        assert_eq!(unit_of(&w, "e_of"), J);
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn mixed_dimensions_in_add_are_pl070() {
+        let w = ws("fn f(a_ns: f64, b_j: f64) -> f64 { a_ns + b_j }");
+        let diags = run(&w);
+        assert!(
+            diags.iter().any(|d| d.code == diag::SEM_UNIT_MIXED),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_conversion_factor_is_pl070() {
+        // pJ + J: same dimension, scales differ by 10^-12.
+        let w = ws("fn f(a_pj: f64, b_j: f64) -> f64 { a_pj + b_j }");
+        let diags = run(&w);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("scales"), "{:?}", diags[0]);
+        // With the conversion, clean.
+        let w = ws("fn f(a_pj: f64, b_j: f64) -> f64 { a_pj * 1e-12 + b_j }");
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn literals_adopt_context() {
+        let w = ws("fn f(x_ns: f64) -> f64 { (x_ns + 1.0).max(100.0) }\n\
+             fn g(x_ns: f64) -> bool { x_ns > 0.0 }");
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+        assert_eq!(unit_of(&w, "f"), NS);
+    }
+
+    #[test]
+    fn binding_suffix_disagreement_is_pl071() {
+        let w = ws("fn f(a_ns: f64) { let total_j = a_ns * 2.0; let _ = total_j; }");
+        let diags = run(&w);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, diag::SEM_UNIT_DECLARED);
+        assert!(diags[0].message.contains("total_j"), "{:?}", diags[0]);
+    }
+
+    #[test]
+    fn fn_return_suffix_disagreement_is_pl071() {
+        let w = ws("fn total_ns(a_j: f64) -> f64 { a_j * 2.0 }");
+        let diags = run(&w);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == diag::SEM_UNIT_DECLARED && d.message.contains("total_ns")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn return_units_propagate_across_the_call_graph() {
+        // `elapsed` has no suffix; its unit comes from its body, and the
+        // caller's mismatch is caught one hop away.
+        let w = ws("fn elapsed(t_ns: f64) -> f64 { t_ns * 1e-9 }\n\
+             fn f(t_ns: f64, budget_ns: f64) -> bool { elapsed(t_ns) > budget_ns }");
+        let diags = run(&w);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == diag::SEM_UNIT_MIXED && d.message.contains("scales")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn sink_struct_field_without_suffix_is_pl072() {
+        let w = sink_ws(
+            "struct Row { seconds: f64, time_ns: f64 }\n\
+             fn make(t_ns: f64) -> Row { Row { seconds: t_ns, time_ns: t_ns } }",
+        );
+        let diags = run(&w);
+        // `seconds` *is* suffixed (s) but receives ns → wrong suffix;
+        // `time_ns` matches.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, diag::SEM_UNIT_SINK);
+        assert!(diags[0].message.contains("seconds"), "{:?}", diags[0]);
+    }
+
+    #[test]
+    fn sink_json_key_audit_is_pl072() {
+        let w = sink_ws(
+            "fn emit(t_ns: f64, e_j: f64) -> String {\n\
+             format!(\"{{\\\"elapsed\\\": {}, \\\"energy_j\\\": {}}}\", t_ns, e_j)\n}",
+        );
+        let diags = run(&w);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, diag::SEM_UNIT_SINK);
+        assert!(diags[0].message.contains("elapsed"), "{:?}", diags[0]);
+    }
+
+    #[test]
+    fn json_named_placeholders_and_helpers_are_followed() {
+        let w = sink_ws(
+            "fn json_num(v: f64) -> String { format!(\"{v}\") }\n\
+             fn emit(t_ns: f64) -> String {\n\
+             format!(\"{{\\\"wall\\\": {}}}\", json_num(t_ns))\n}",
+        );
+        let diags = run(&w);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == diag::SEM_UNIT_SINK && d.message.contains("wall")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_suppresses_everything() {
+        let w = ws("fn f(x: f64, y_ns: f64) -> f64 { x + y_ns }\n\
+             fn g(v: &[f64], i_ns: f64) -> f64 { v[0] + i_ns }");
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn non_sink_files_use_pl070_for_field_mismatches() {
+        let w = ws("struct T { t_ns: f64 }\nfn f(a_j: f64) -> T { T { t_ns: a_j } }");
+        let diags = run(&w);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, diag::SEM_UNIT_MIXED);
+    }
+
+    #[test]
+    fn counts_are_keyed_by_path_and_code() {
+        let w = ws("fn f(a_ns: f64, b_j: f64) -> f64 { a_ns + b_j }");
+        let (_, counts) = findings(&w, &Options::default());
+        assert_eq!(
+            counts.get(&("crates/core/src/timing.rs".to_string(), "pl070".to_string())),
+            Some(&1)
+        );
+    }
+}

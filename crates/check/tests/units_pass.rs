@@ -1,0 +1,177 @@
+//! Integration tests for the dimensional-analysis layer: never-panic
+//! fuzzing of the `check::expr` parser on arbitrary byte soup, the
+//! PL070/PL071/PL072 pass against a deliberately broken fixture (each
+//! diagnostic pinned to its exact site), and the real workspace, whose
+//! only findings must be the two justified `lint-allow.txt` entries.
+
+use std::path::Path;
+
+use pipelayer_check::callgraph::Workspace;
+use pipelayer_check::expr::{self, Stmt};
+use pipelayer_check::{diag, lex, units};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng as _};
+
+// ---- never-panics fuzzing of the expression parser --------------------------
+
+/// Asserts every span in a parsed statement tree is in-bounds and ordered.
+fn check_spans(stmts: &[Stmt], len: usize) {
+    for s in stmts {
+        s.walk(&mut |e| {
+            assert!(e.span.start <= e.span.end, "span inverted: {:?}", e.span);
+            assert!(e.span.end <= len, "span out of bounds: {:?}", e.span);
+        });
+    }
+}
+
+/// Characters biased toward expression-grammar edge cases.
+const SOUP: &[u8] = b"(){}[]<>=+-*/%&|!?.,;:#'\"_azAZ09 \n e!=>->..";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Parsing arbitrary byte soup (lossily decoded) must never panic and
+    /// must keep every node's byte span inside the source.
+    #[test]
+    fn expr_never_panics_on_byte_soup(seed in 0u64..1_000_000, len in 0usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=255)).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let toks = lex::lex(&src);
+        let stmts = expr::parse_body(&src, &toks, 0, toks.len());
+        check_spans(&stmts, src.len());
+    }
+
+    /// Soup biased toward operator/delimiter sequences — unbalanced parens,
+    /// half-written ranges, `=>`/`->` fragments.
+    #[test]
+    fn expr_never_panics_on_operator_soup(seed in 0u64..1_000_000, len in 0usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0dd5);
+        let src: String = (0..len)
+            .map(|_| SOUP[rng.random_range(0..SOUP.len())] as char)
+            .collect();
+        let toks = lex::lex(&src);
+        let stmts = expr::parse_body(&src, &toks, 0, toks.len());
+        check_spans(&stmts, src.len());
+        // The units pass built on top must be just as unkillable.
+        let ws = Workspace::build(vec![("crates/x/src/soup.rs".to_string(), src)]);
+        let _ = units::findings(&ws, &units::Options::default());
+    }
+}
+
+// ---- the broken fixture: all three diagnostics, exact sites -----------------
+
+/// One fixture, three planted unit bugs, each hit by exactly one code:
+/// ns+J addition (PL070), a pJ function suffixed `_j` with its `1e-12`
+/// missing (PL071), and a dimensioned value reaching an unsuffixed JSON
+/// sink key (PL072).
+#[test]
+fn broken_fixture_pins_all_three_diagnostics() {
+    let model = "\
+fn total_time(a_ns: f64, b_j: f64) -> f64 {\n\
+    let t_ns = a_ns + b_j;\n\
+    t_ns\n\
+}\n\
+fn energy_j(e_pj: f64) -> f64 {\n\
+    e_pj\n\
+}\n";
+    let sink = "\
+fn emit(t_ns: f64) -> String {\n\
+    format!(\"{{\\\"elapsed\\\": {}}}\", t_ns)\n\
+}\n";
+    let ws = Workspace::build(vec![
+        ("crates/core/src/model.rs".to_string(), model.to_string()),
+        ("crates/bench/src/report.rs".to_string(), sink.to_string()),
+    ]);
+    let (diags, counts) = units::findings(&ws, &units::Options::default());
+    let got: Vec<(&str, &str)> = diags
+        .iter()
+        .map(|d| (d.code, d.location.as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (diag::SEM_UNIT_MIXED, "crates/core/src/model.rs:2"),
+            (diag::SEM_UNIT_DECLARED, "crates/core/src/model.rs:5"),
+            (diag::SEM_UNIT_SINK, "crates/bench/src/report.rs:2"),
+        ],
+        "{diags:?}"
+    );
+    // The messages carry the units, not just the sites.
+    assert!(diags[0].message.contains("ns") && diags[0].message.contains("J"));
+    assert!(
+        diags[1].message.contains("J") && diags[1].message.contains("pJ"),
+        "{}",
+        diags[1].message
+    );
+    assert!(
+        diags[2].message.contains("\"elapsed\""),
+        "{}",
+        diags[2].message
+    );
+    // Counts feed the shrink-only allowlist, keyed (path, code).
+    assert_eq!(
+        counts.get(&("crates/core/src/model.rs".to_string(), "pl070".to_string())),
+        Some(&1)
+    );
+    assert_eq!(
+        counts.get(&("crates/core/src/model.rs".to_string(), "pl071".to_string())),
+        Some(&1)
+    );
+    assert_eq!(
+        counts.get(&(
+            "crates/bench/src/report.rs".to_string(),
+            "pl072".to_string()
+        )),
+        Some(&1)
+    );
+}
+
+/// The fixed fixture — conversions and suffixes in place — is clean.
+#[test]
+fn repaired_fixture_is_clean() {
+    let model = "\
+fn total_time_ns(a_ns: f64, b_s: f64) -> f64 {\n\
+    let t_ns = a_ns + b_s * 1e9;\n\
+    t_ns\n\
+}\n\
+fn energy_j(e_pj: f64) -> f64 {\n\
+    e_pj * 1e-12\n\
+}\n";
+    let sink = "\
+fn emit(t_ns: f64) -> String {\n\
+    format!(\"{{\\\"elapsed_ns\\\": {}}}\", t_ns)\n\
+}\n";
+    let ws = Workspace::build(vec![
+        ("crates/core/src/model.rs".to_string(), model.to_string()),
+        ("crates/bench/src/report.rs".to_string(), sink.to_string()),
+    ]);
+    let (diags, _) = units::findings(&ws, &units::Options::default());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---- the real workspace ------------------------------------------------------
+
+/// The whole tree runs through the units pass; the only surviving findings
+/// are the two `lint-allow.txt` pl071 rows (count multipliers in the ISAAC
+/// baseline, bits-as-spike-slots in the ReRAM read phase), pinned here so
+/// any new finding or any drift in the justified ones fails loudly.
+#[test]
+fn units_real_workspace_matches_the_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    let (diags, _) = units::findings(&ws, &units::Options::default());
+    let got: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{} {}", d.code, d.location))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            "PL071 crates/baselines/src/isaac.rs:60".to_string(),
+            "PL071 crates/reram/src/energy.rs:71".to_string(),
+        ],
+        "unexpected PL07x drift on the real tree: {diags:?}"
+    );
+}

@@ -15,20 +15,23 @@ use pipelayer_reram::EnergyCounter;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyBreakdown {
     /// Array-read spikes.
-    pub reads_j: f64,
+    pub reads_j_per_image: f64,
     /// Intermediate-data writes (input, d, morphable copies, δ).
-    pub data_writes_j: f64,
+    pub data_writes_j_per_image: f64,
     /// Weight reprogramming (amortised per image).
-    pub weight_updates_j: f64,
+    pub weight_updates_j_per_image: f64,
     /// Scrub scheduler: verify reads over scanned cells plus re-pulses
     /// (amortised per image; exactly 0.0 with scrubbing off).
-    pub scrub_j: f64,
+    pub scrub_j_per_image: f64,
 }
 
 impl EnergyBreakdown {
     /// Total per-image energy.
-    pub fn total_j(&self) -> f64 {
-        self.reads_j + self.data_writes_j + self.weight_updates_j + self.scrub_j
+    pub fn total_j_per_image(&self) -> f64 {
+        self.reads_j_per_image
+            + self.data_writes_j_per_image
+            + self.weight_updates_j_per_image
+            + self.scrub_j_per_image
     }
 }
 
@@ -213,10 +216,10 @@ impl<'a> EnergyModel<'a> {
         let update =
             self.verified_update_write_spikes_per_batch() as f64 * p.write_energy_pj * 1e-12 / b;
         EnergyBreakdown {
-            reads_j: reads,
-            data_writes_j: writes,
-            weight_updates_j: update,
-            scrub_j: self.scrub_j_per_image(),
+            reads_j_per_image: reads,
+            data_writes_j_per_image: writes,
+            weight_updates_j_per_image: update,
+            scrub_j_per_image: self.scrub_j_per_image(),
         }
     }
 
@@ -310,13 +313,13 @@ mod tests {
         let bd = e.training_breakdown_j_per_image();
         let total = e.training_energy_j(64) / 64.0;
         assert!(
-            (bd.total_j() - total).abs() < 1e-9 * total,
+            (bd.total_j_per_image() - total).abs() < 1e-9 * total,
             "breakdown {} vs total {}",
-            bd.total_j(),
+            bd.total_j_per_image(),
             total
         );
         // Writes dominate (Sec. 6.6).
-        assert!(bd.data_writes_j > bd.reads_j);
+        assert!(bd.data_writes_j_per_image > bd.reads_j_per_image);
     }
 
     #[test]
@@ -334,7 +337,10 @@ mod tests {
         let e_base = EnergyModel::new(&base);
         assert_eq!(e_base.scrub_cells_per_pass(), 0);
         assert_eq!(e_base.scrub_j_per_image(), 0.0);
-        assert_eq!(e_base.training_breakdown_j_per_image().scrub_j, 0.0);
+        assert_eq!(
+            e_base.training_breakdown_j_per_image().scrub_j_per_image,
+            0.0
+        );
 
         let cfg = PipeLayerConfig {
             scrub: ScrubPolicy::every(50, 16),
@@ -349,9 +355,9 @@ mod tests {
 
         // Breakdown still reconciles with the total under scrubbing.
         let bd = e.training_breakdown_j_per_image();
-        assert!(bd.scrub_j > 0.0);
+        assert!(bd.scrub_j_per_image > 0.0);
         let total = e.training_energy_j(64) / 64.0;
-        assert!((bd.total_j() - total).abs() < 1e-6 * total);
+        assert!((bd.total_j_per_image() - total).abs() < 1e-6 * total);
     }
 
     #[test]
@@ -392,6 +398,6 @@ mod tests {
         // Breakdown still reconciles with the total under fault tolerance.
         let bd = e_ft.training_breakdown_j_per_image();
         let total = e_ft.training_energy_j(64) / 64.0;
-        assert!((bd.total_j() - total).abs() < 1e-6 * total);
+        assert!((bd.total_j_per_image() - total).abs() < 1e-6 * total);
     }
 }
