@@ -90,10 +90,7 @@ fn main() {
         let mut off = ReramMlp::with_faults(&DIMS, &params, SEED, &faults);
         train(&mut off, &tr, trl, epochs);
         let acc_off = off.accuracy(&te, tel);
-        let d_off = DegradationReport {
-            baseline: base_acc,
-            degraded: acc_off,
-        };
+        let d_off = DegradationReport::new(base_acc, acc_off);
         table.row(vec![
             format!("{rate}"),
             "off".into(),
@@ -114,10 +111,8 @@ fn main() {
         );
         train(&mut on, &tr, trl, epochs);
         let acc_on = on.accuracy(&te, tel);
-        let d_on = DegradationReport {
-            baseline: base_acc,
-            degraded: acc_on,
-        };
+        let d_on = DegradationReport::new(base_acc, acc_on)
+            .with_repair_state(on.spares_left(), on.masked_units());
         let overhead = on
             .fault_report()
             .map_or_else(|| "-".into(), |r| fmt_f(r.overhead(), 3));

@@ -39,9 +39,10 @@ pub struct CacheSpec {
 }
 
 /// The repo's configured caches: `Crossbar.plane_cache` is derived from the
-/// cell array, fault map, drift state, and noise state. `ReramMatrix`
-/// (array_group.rs) holds no cache of its own — its `Crossbar` members
-/// self-invalidate — so `Crossbar` is the one triple.
+/// cell array, fault map, drift state, noise state, and wear state (an
+/// exhausted cell becomes a live stuck-at fault, which changes what an MVM
+/// reads). `ReramMatrix` (array_group.rs) holds no cache of its own — its
+/// `Crossbar` members self-invalidate — so `Crossbar` is the one triple.
 pub fn default_specs() -> Vec<CacheSpec> {
     vec![CacheSpec {
         type_name: "Crossbar".to_string(),
@@ -51,6 +52,7 @@ pub fn default_specs() -> Vec<CacheSpec> {
             "faults".to_string(),
             "drift".to_string(),
             "noise".to_string(),
+            "wear".to_string(),
         ],
     }]
 }

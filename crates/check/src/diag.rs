@@ -191,6 +191,9 @@ pub const MAP_BAD_GRANULARITY: &str = "PL021";
 pub const MAP_EXCESS_REPLICATION: &str = "PL022";
 /// Mapping: spare-column budget incompatible with the array width.
 pub const MAP_SPARES_EXCEED_ARRAY: &str = "PL023";
+/// Mapping: expected dead columns (configured fault rate plus endurance
+/// wear-out over a nominal training run) exceed the spare-column budget.
+pub const MAP_SPARES_INSUFFICIENT: &str = "PL024";
 
 /// Quant: data bits not a positive multiple of the cell bits (Fig. 14).
 pub const QUANT_BITS_MISALIGNED: &str = "PL030";
@@ -283,6 +286,10 @@ pub const CODE_TABLE: &[(&str, &str)] = &[
     (
         MAP_SPARES_EXCEED_ARRAY,
         "spare-column budget incompatible with the crossbar width",
+    ),
+    (
+        MAP_SPARES_INSUFFICIENT,
+        "expected dead columns over a nominal training run exceed the spare budget",
     ),
     (
         QUANT_BITS_MISALIGNED,

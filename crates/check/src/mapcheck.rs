@@ -7,6 +7,15 @@ use crate::shape::InferredLayer;
 use pipelayer::PipeLayerConfig;
 use pipelayer_reram::tile_grid;
 
+/// Program pulses a weight cell absorbs over a *nominal* training run —
+/// the planning horizon behind the PL024 spare-budget feasibility
+/// estimate. The paper-scale campaigns land around 10⁵ batch updates
+/// (tens of epochs × thousands of batches), and a cell sees at most one
+/// tuning pulse per update, so this is a deliberately coarse
+/// order-of-magnitude horizon: PL024 is a warning about provisioning, not
+/// a hard schedulability error.
+const NOMINAL_TRAINING_UPDATES: f64 = 100_000.0;
+
 /// Checks a granularity assignment `g` for `layers` under `cfg`, with the
 /// replicated conv arrays bounded by `budget` crossbars (the same capacity
 /// notion as `pipelayer::granularity`'s budgeted search).
@@ -86,6 +95,33 @@ pub fn check(
             "conventional macro provision is 2-4 spare bit lines per 128-wide array",
         ));
     }
+
+    // PL024: static spare-budget feasibility. A column dies (and consumes a
+    // spare, or a mask once spares run out) when any of its cells dies, so
+    // with a per-cell death probability p over a nominal training horizon,
+    // a size-row column dies with probability 1 − (1−p)^size, and the
+    // expected dead columns per matrix is size × that. The per-cell rate
+    // combines the configured manufacturing dead-fault rate with the wear
+    // model's lognormal end-of-life CDF at the nominal pulse count.
+    let p_cell =
+        (cfg.fault_model.dead + cfg.wear.death_probability(NOMINAL_TRAINING_UPDATES)).min(1.0);
+    if p_cell > 0.0 && spares < size {
+        let p_col = 1.0 - (1.0 - p_cell).powf(size as f64);
+        let expected_dead_cols = p_col * size as f64;
+        if expected_dead_cols > spares as f64 {
+            diags.push(Diagnostic::warning(
+                diag::MAP_SPARES_INSUFFICIENT,
+                "config.spares",
+                format!(
+                    "~{expected_dead_cols:.1} columns per {size}x{size} matrix are expected to \
+                     die over a nominal training run ({NOMINAL_TRAINING_UPDATES:.0} updates), \
+                     but only {spares} spare columns are provisioned"
+                ),
+                "raise the spare budget, pick a higher-endurance cell grade, or shorten \
+                 training; once spares exhaust, each further dead cell masks a whole column",
+            ));
+        }
+    }
     diags
 }
 
@@ -147,6 +183,62 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.code == diag::MAP_EXCESS_REPLICATION && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn wear_grade_beyond_the_spare_budget_warns() {
+        use pipelayer_reram::{FaultModel, WearModel};
+        let spec = zoo::spec_mnist_a();
+        let layers = shape::infer(&spec).layers;
+
+        // Storage-class endurance (median well under the nominal pulse
+        // horizon): nearly every cell dies, spares cannot cover it.
+        let mut cfg = PipeLayerConfig {
+            spares: SpareBudget::typical(),
+            wear: WearModel::with_endurance(1e4),
+            ..Default::default()
+        };
+        let diags = check(&layers, &[1, 1], &cfg, BUDGET);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == diag::MAP_SPARES_INSUFFICIENT
+                    && d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+
+        // Research-grade endurance (median far above the horizon): silent.
+        cfg.wear = WearModel::with_endurance(1e12);
+        let diags = check(&layers, &[1, 1], &cfg, BUDGET);
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.code == diag::MAP_SPARES_INSUFFICIENT),
+            "{diags:?}"
+        );
+
+        // A heavy manufacturing dead rate alone also trips the check.
+        cfg.wear = WearModel::ideal();
+        cfg.fault_model = FaultModel {
+            dead: 0.05,
+            ..FaultModel::ideal()
+        };
+        let diags = check(&layers, &[1, 1], &cfg, BUDGET);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == diag::MAP_SPARES_INSUFFICIENT),
+            "{diags:?}"
+        );
+
+        // The ideal default configuration stays clean.
+        let diags = check(&layers, &[1, 1], &PipeLayerConfig::default(), BUDGET);
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.code == diag::MAP_SPARES_INSUFFICIENT),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Accelerator configuration.
 
-use crate::repair::SpareBudget;
+use crate::repair::{RepairPolicy, SpareBudget};
 use crate::scrub::ScrubPolicy;
-use pipelayer_reram::{FaultModel, NoiseModel, ReramParams, VerifyPolicy};
+use pipelayer_reram::{FaultModel, NoiseModel, ReramParams, VerifyPolicy, WearModel};
 
 /// A rejected [`PipeLayerConfig`].
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +34,10 @@ pub enum ConfigError {
     /// A noise-model fraction (IR-drop attenuation or conductance on/off
     /// floor) was outside `[0, 1]` or non-finite.
     InvalidNoiseFraction(f64),
+    /// The wear model's median write budget was negative or non-finite.
+    InvalidWearBudget(f64),
+    /// The wear model's lognormal σ was negative or non-finite.
+    InvalidWearSigma(f64),
 }
 
 impl core::fmt::Display for ConfigError {
@@ -66,6 +70,15 @@ impl core::fmt::Display for ConfigError {
             }
             ConfigError::InvalidNoiseFraction(r) => {
                 write!(f, "noise fraction {r} must be in [0,1]")
+            }
+            ConfigError::InvalidWearBudget(w) => {
+                write!(
+                    f,
+                    "wear median write budget {w} must be finite and non-negative"
+                )
+            }
+            ConfigError::InvalidWearSigma(s) => {
+                write!(f, "wear sigma {s} must be finite and non-negative")
             }
         }
     }
@@ -163,6 +176,14 @@ pub struct PipeLayerConfig {
     /// spread, IR drop, per-read Gaussian noise ([`NoiseModel::ideal`] by
     /// default, an exact no-op on every read).
     pub noise: NoiseModel,
+    /// Endurance wear-out — per-cell lognormal write budgets whose
+    /// exhaustion raises live dead faults mid-run ([`WearModel::ideal`] by
+    /// default, an exact no-op: no budgets drawn, no counter touched).
+    pub wear: WearModel,
+    /// How verify failures escalate to spares — the retry → backoff →
+    /// remap → mask ladder (immediate escalation by default, the
+    /// commissioning-time behaviour).
+    pub repair: RepairPolicy,
 }
 
 impl Default for PipeLayerConfig {
@@ -176,6 +197,8 @@ impl Default for PipeLayerConfig {
             datapath: DatapathFormat::default(),
             scrub: ScrubPolicy::off(),
             noise: NoiseModel::ideal(),
+            wear: WearModel::ideal(),
+            repair: RepairPolicy::immediate(),
         }
     }
 }
@@ -305,6 +328,12 @@ impl PipeLayerConfig {
                 return Err(ConfigError::InvalidNoiseFraction(r));
             }
         }
+        if self.wear.median_writes < 0.0 || !self.wear.median_writes.is_finite() {
+            return Err(ConfigError::InvalidWearBudget(self.wear.median_writes));
+        }
+        if self.wear.sigma < 0.0 || !self.wear.sigma.is_finite() {
+            return Err(ConfigError::InvalidWearSigma(self.wear.sigma));
+        }
         self.datapath.validate()
     }
 
@@ -348,6 +377,26 @@ impl PipeLayerConfig {
     pub fn noise_enabled(&self) -> bool {
         !self.noise.is_ideal()
     }
+
+    /// `true` once the endurance wear model is turned on — the gate that
+    /// keeps every existing pinned number bit-exact with wear off (no
+    /// budgets are drawn and no counter is touched).
+    pub fn wear_enabled(&self) -> bool {
+        !self.wear.is_ideal()
+    }
+
+    /// Enables endurance wear-out with the given model and escalation
+    /// ladder, plus the usual fault-tolerance knobs the ladder rides on.
+    pub fn with_wear(mut self, wear: WearModel, repair: RepairPolicy) -> Self {
+        self.wear = wear;
+        self.repair = repair;
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid wear configuration: {:?}",
+            self.validate()
+        );
+        self
+    }
 }
 
 #[cfg(test)]
@@ -386,9 +435,33 @@ mod tests {
         let c = PipeLayerConfig::default();
         assert!(!c.fault_tolerance_enabled());
         assert!(!c.noise_enabled());
+        assert!(!c.wear_enabled());
+        assert_eq!(c.repair, crate::repair::RepairPolicy::immediate());
         assert_eq!(c.write_pulse_multiplier(), 1.0);
         assert_eq!(c.verify_reads_per_cell_write(), 0.0);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn wear_model_validates_its_domain() {
+        use crate::repair::RepairPolicy;
+        let cfg = PipeLayerConfig::default()
+            .with_wear(WearModel::with_endurance(1e6), RepairPolicy::laddered());
+        assert!(cfg.wear_enabled());
+        assert!(cfg.validate().is_ok());
+
+        let mut bad = cfg;
+        bad.wear.median_writes = -1.0;
+        assert_eq!(bad.validate(), Err(ConfigError::InvalidWearBudget(-1.0)));
+
+        bad.wear = WearModel {
+            median_writes: 1e6,
+            sigma: f64::NAN,
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::InvalidWearSigma(_))
+        ));
     }
 
     #[test]
@@ -521,6 +594,7 @@ mod tests {
             interval_images: 100,
             rows_per_pass: 4,
             repulse_fraction: 1.5,
+            min_headroom_writes: 0,
         };
         assert!(matches!(
             cfg.validate(),

@@ -15,11 +15,12 @@
 //! `ReramMatrix` primitive via im2col but is quadratically slower, so the
 //! shipped examples stick to MLPs.
 
-use crate::repair::{RepairController, SpareBudget};
+use crate::repair::{RepairController, RepairPolicy, SpareBudget};
 use crate::scrub::ScrubPolicy;
 use pipelayer_nn::loss::Loss;
 use pipelayer_reram::{
-    DriftModel, FaultModel, NoiseModel, ProgramReport, ReramMatrix, ReramParams, VerifyPolicy,
+    DriftModel, FaultKind, FaultMap, FaultModel, NoiseModel, ProgramReport, ReramMatrix,
+    ReramParams, VerifyPolicy, WearModel,
 };
 use pipelayer_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
@@ -164,6 +165,249 @@ fn mean_loss(total: f32, n: usize) -> f32 {
     total / n as f32
 }
 
+/// Magic + format version leading a device-state snapshot blob.
+const DEVICE_STATE_MAGIC: u64 = 0x504c_5744_5331_0001;
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_usize_list(out: &mut Vec<u8>, xs: &[usize]) {
+    push_u64(out, xs.len() as u64);
+    for &x in xs {
+        push_u64(out, x as u64);
+    }
+}
+
+/// Little-endian cursor over a snapshot blob; every read is bounds-checked
+/// so a truncated or foreign buffer fails the restore instead of panicking.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.bytes(8)?;
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+
+    fn f32(&mut self) -> Option<f32> {
+        let b = self.bytes(4)?;
+        Some(f32::from_le_bytes(b.try_into().ok()?))
+    }
+
+    fn usize_list(&mut self) -> Option<Vec<usize>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return None; // claimed length exceeds the remaining bytes
+        }
+        (0..n).map(|_| self.u64().map(|v| v as usize)).collect()
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Appends one array's full device state: weight scale, masked outputs,
+/// then per member crossbar the stored levels, live fault map, wear
+/// counters and spike counters.
+fn snapshot_matrix(out: &mut Vec<u8>, m: &ReramMatrix) {
+    out.extend_from_slice(&m.weight_scale().to_le_bytes());
+    push_usize_list(out, &m.masked_outputs());
+    push_u64(out, m.crossbar_count() as u64);
+    for c in m.crossbars() {
+        push_u64(out, c.rows() as u64);
+        push_u64(out, c.cols() as u64);
+        out.extend_from_slice(&c.stored_levels());
+        match c.fault_map() {
+            Some(map) => {
+                out.push(1);
+                for r in 0..c.rows() {
+                    for col in 0..c.cols() {
+                        out.push(match map.get(r, col) {
+                            None => 0,
+                            Some(FaultKind::StuckAtZero) => 1,
+                            Some(FaultKind::StuckAtMax) => 2,
+                            Some(FaultKind::Dead) => 3,
+                        });
+                    }
+                }
+            }
+            None => out.push(0),
+        }
+        match c.wear_state() {
+            Some(w) => {
+                out.push(1);
+                let (pulses, generation) = w.counters();
+                for &p in pulses {
+                    push_u64(out, p);
+                }
+                for &g in generation {
+                    push_u64(out, g);
+                }
+            }
+            None => out.push(0),
+        }
+        let (r, w, o) = c.spike_counters();
+        push_u64(out, r);
+        push_u64(out, w);
+        push_u64(out, o);
+    }
+}
+
+/// Inverse of [`snapshot_matrix`]; `None` on any geometry or framing
+/// mismatch. A snapshot with no fault map / no wear leaves the freshly
+/// reconstructed array's state alone (the deterministic rebuild already
+/// matches: faults only ever *appear* over a run, never vanish).
+fn restore_matrix(rd: &mut ByteReader, m: &mut ReramMatrix) -> Option<()> {
+    m.restore_weight_scale(rd.f32()?);
+    let masked = rd.usize_list()?;
+    m.restore_masked_outputs(&masked);
+    if rd.u64()? as usize != m.crossbar_count() {
+        return None;
+    }
+    for c in m.crossbars_mut() {
+        let rows = rd.u64()? as usize;
+        let cols = rd.u64()? as usize;
+        if rows != c.rows() || cols != c.cols() {
+            return None;
+        }
+        let levels = rd.bytes(rows * cols)?.to_vec();
+        if !c.restore_levels(&levels) {
+            return None;
+        }
+        if rd.u8()? == 1 {
+            let mut map = FaultMap::pristine(rows, cols);
+            let codes = rd.bytes(rows * cols)?;
+            for (i, &code) in codes.iter().enumerate() {
+                let kind = match code {
+                    1 => Some(FaultKind::StuckAtZero),
+                    2 => Some(FaultKind::StuckAtMax),
+                    3 => Some(FaultKind::Dead),
+                    _ => None,
+                };
+                if let Some(k) = kind {
+                    map.set(i / cols, i % cols, k);
+                }
+            }
+            if !c.restore_faults(map) {
+                return None;
+            }
+        }
+        if rd.u8()? == 1 {
+            let n = rows * cols;
+            let mut pulses = Vec::with_capacity(n);
+            for _ in 0..n {
+                pulses.push(rd.u64()?);
+            }
+            let mut generation = Vec::with_capacity(n);
+            for _ in 0..n {
+                generation.push(rd.u64()?);
+            }
+            if !c.restore_wear_counters(&pulses, &generation) {
+                return None;
+            }
+        }
+        let (r, w, o) = (rd.u64()?, rd.u64()?, rd.u64()?);
+        c.restore_spike_counters(r, w, o);
+    }
+    Some(())
+}
+
+fn snapshot_controller(out: &mut Vec<u8>, c: &RepairController) {
+    let (remapped, masked, strikes, backoff, updates) = c.state();
+    push_usize_list(out, remapped);
+    push_usize_list(out, masked);
+    push_u64(out, strikes.len() as u64);
+    for &(col, s) in strikes {
+        push_u64(out, col as u64);
+        push_u64(out, u64::from(s));
+    }
+    push_u64(out, backoff.len() as u64);
+    for &(col, until) in backoff {
+        push_u64(out, col as u64);
+        push_u64(out, until);
+    }
+    push_u64(out, updates);
+}
+
+fn restore_controller(rd: &mut ByteReader, c: &mut RepairController) -> Option<()> {
+    let remapped = rd.usize_list()?;
+    let masked = rd.usize_list()?;
+    let n = rd.u64()? as usize;
+    let mut strikes = Vec::new();
+    for _ in 0..n {
+        let col = rd.u64()? as usize;
+        let s = u32::try_from(rd.u64()?).ok()?;
+        strikes.push((col, s));
+    }
+    let n = rd.u64()? as usize;
+    let mut backoff = Vec::new();
+    for _ in 0..n {
+        let col = rd.u64()? as usize;
+        let until = rd.u64()?;
+        backoff.push((col, until));
+    }
+    let updates = rd.u64()?;
+    c.restore_state(remapped, masked, strikes, backoff, updates);
+    Some(())
+}
+
+fn snapshot_report(out: &mut Vec<u8>, r: &ProgramReport) {
+    push_u64(out, r.pulses);
+    push_u64(out, r.ideal_pulses);
+    push_u64(out, r.verify_reads);
+    push_u64(out, r.unrecoverable.len() as u64);
+    for u in &r.unrecoverable {
+        push_u64(out, u.row as u64);
+        push_u64(out, u.col as u64);
+        out.push(u.target);
+        out.push(u.actual);
+    }
+}
+
+fn restore_report(rd: &mut ByteReader) -> Option<ProgramReport> {
+    let pulses = rd.u64()?;
+    let ideal_pulses = rd.u64()?;
+    let verify_reads = rd.u64()?;
+    let n = rd.u64()? as usize;
+    let mut unrecoverable = Vec::new();
+    for _ in 0..n {
+        let row = rd.u64()? as usize;
+        let col = rd.u64()? as usize;
+        let target = rd.u8()?;
+        let actual = rd.u8()?;
+        unrecoverable.push(pipelayer_reram::UnrecoverableCell {
+            row,
+            col,
+            target,
+            actual,
+        });
+    }
+    Some(ProgramReport {
+        pulses,
+        ideal_pulses,
+        verify_reads,
+        unrecoverable,
+    })
+}
+
 /// Drops the bias row and transposes: `[out×(in+1)] → [in×out]`.
 fn transpose_no_bias(w: &[f32], n_out: usize, n_in: usize) -> Vec<f32> {
     let mut wt = vec![0.0f32; n_in * n_out];
@@ -198,6 +442,10 @@ pub struct ReramMlp {
     /// `Some` when runtime resilience is on: the arrays age (drift +
     /// read disturb) and the scrub scheduler periodically refreshes them.
     resilience: Option<ResilienceState>,
+    /// True once a non-ideal wear model is attached: updates then route
+    /// through the retry/backoff repair ladder and remaps bill honest
+    /// pulses. False keeps the legacy (pre-wear) escalation bit-exact.
+    wear_active: bool,
 }
 
 impl ReramMlp {
@@ -224,6 +472,7 @@ impl ReramMlp {
             loss: Loss::SoftmaxCrossEntropy,
             fault_tolerance: None,
             resilience: None,
+            wear_active: false,
         }
     }
 
@@ -272,6 +521,7 @@ impl ReramMlp {
             loss: Loss::SoftmaxCrossEntropy,
             fault_tolerance: None,
             resilience: None,
+            wear_active: false,
         }
     }
 
@@ -317,6 +567,7 @@ impl ReramMlp {
             loss: Loss::SoftmaxCrossEntropy,
             fault_tolerance: Some(ft),
             resilience: None,
+            wear_active: false,
         }
     }
 
@@ -385,6 +636,54 @@ impl ReramMlp {
         let mut mlp = Self::new(dims, params, seed);
         mlp.attach_noise(noise, seed);
         mlp
+    }
+
+    /// Attaches the endurance wear-out model to every array (forward and
+    /// reordered-backward copy of each layer) with the same per-layer salt
+    /// discipline as [`attach_noise`](Self::attach_noise). From then on
+    /// every programming pulse decrements the touched cell's seeded write
+    /// budget, and exhausted cells transition into live stuck-at-`Dead`
+    /// faults mid-run; weight updates route through the retry → backoff →
+    /// remap → mask ladder of the configured [`RepairPolicy`]. Attaching
+    /// [`WearModel::ideal`] is an exact no-op: no state is allocated and
+    /// the legacy update path keeps running bit-identically.
+    pub fn attach_wear(&mut self, model: WearModel, seed: u64) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let salt = seed.wrapping_add(1 + 1000 * i as u64);
+            layer.forward.attach_wear(model, salt);
+            layer
+                .backward
+                .attach_wear(model, salt ^ 0x9e37_79b9_7f4a_7c15);
+        }
+        self.wear_active = !model.is_ideal();
+    }
+
+    /// Replaces the repair escalation ladder on every array's controller
+    /// (budget and history are kept). Only consulted on the wear-aware
+    /// update path, i.e. after a non-ideal [`attach_wear`](Self::attach_wear).
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        for layer in &mut self.layers {
+            layer.forward_repair.set_policy(policy);
+            layer.backward_repair.set_policy(policy);
+        }
+    }
+
+    /// Cells across all arrays whose write budget is exhausted — the dead
+    /// population the wear model has killed so far (0 without wear).
+    pub fn wear_exhausted_cells(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.forward.wear_exhausted_cells() + l.backward.wear_exhausted_cells())
+            .sum()
+    }
+
+    /// Spare columns still unused across all layers (forward + backward
+    /// controllers) — the remaining self-repair headroom.
+    pub fn spares_left(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.forward_repair.spares_left() + l.backward_repair.spares_left())
+            .sum()
     }
 
     /// Number of weighted layers.
@@ -497,7 +796,16 @@ impl ReramMlp {
     /// Panics on empty or mismatched batches.
     pub fn train_batch(&mut self, images: &[Tensor], labels: &[usize], lr: f32) -> f32 {
         check_batch(images, labels);
+        let total = self.batch_grads(images, labels);
+        self.apply_update(images.len(), lr);
+        mean_loss(total, images.len())
+    }
 
+    /// The forward/backward half of [`train_batch`](Self::train_batch):
+    /// feeds the batch layer-major, accumulates `∂W` into the layer
+    /// buffers, and returns the summed (not mean) loss. No update is
+    /// applied and no clock advanced — callers own that.
+    fn batch_grads(&mut self, images: &[Tensor], labels: &[usize]) -> f32 {
         // Forward, layer-major: one packed multi-image kernel per layer.
         let mut vs: Vec<Vec<f32>> = images.iter().map(|t| t.as_slice().to_vec()).collect();
         let mut cached_ins: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.layers.len());
@@ -553,9 +861,7 @@ impl ReramMlp {
                 deltas = layer.backward.matvec_batch(&deltas);
             }
         }
-
-        self.apply_update(images.len(), lr);
-        mean_loss(total, images.len())
+        total
     }
 
     /// Per-sample reference for [`train_batch`](Self::train_batch): the
@@ -576,12 +882,146 @@ impl ReramMlp {
         mean_loss(total, images.len())
     }
 
+    /// Trains one mini-batch with the forward/backward feed fanned out
+    /// over `threads` worker threads and the Fig. 14(b) update applied
+    /// serially afterwards. Returns the mean loss.
+    ///
+    /// The batch is split into fixed 8-sample chunks; chunk `i` runs on
+    /// worker `i % threads` against a private clone of the arrays (every
+    /// chunk sees the same pre-update weights), and the per-chunk losses,
+    /// gradient buffers and spike counts merge back *in chunk order*. The
+    /// result is therefore bitwise independent of `threads` — `threads = 1`
+    /// is the reference schedule — though not bit-comparable to
+    /// [`train_batch`](Self::train_batch), whose single accumulator sums
+    /// samples in a different order. Like the batched feed, this assumes
+    /// reads don't perturb device state (ideal, faulted, wearing or
+    /// pure-retention-drift arrays; per-read noise and read disturb are
+    /// read-order-dependent and out of scope).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched batches.
+    pub fn train_batch_parallel(
+        &mut self,
+        images: &[Tensor],
+        labels: &[usize],
+        lr: f32,
+        threads: usize,
+    ) -> f32 {
+        check_batch(images, labels);
+        const CHUNK: usize = 8;
+        let threads = threads.max(1);
+        let n = images.len();
+        let n_chunks = n.div_ceil(CHUNK);
+        // Spike counters before the feed, so worker deltas can be billed
+        // back onto the real arrays (clones' counters are discarded).
+        let base: Vec<Vec<(u64, u64, u64)>> = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.forward
+                    .crossbars()
+                    .chain(l.backward.crossbars())
+                    .map(|c| c.spike_counters())
+                    .collect()
+            })
+            .collect();
+        let template = &*self;
+        let mut per_chunk: Vec<Option<(f32, Vec<Vec<f32>>)>> = vec![None; n_chunks];
+        let mut deltas: Vec<Vec<(u64, u64, u64)>> = base
+            .iter()
+            .map(|l| vec![(0u64, 0u64, 0u64); l.len()])
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let base = &base;
+                    scope.spawn(move || {
+                        let mut worker = template.clone();
+                        let mut chunks = Vec::new();
+                        for ci in (t..n_chunks).step_by(threads) {
+                            let lo = ci * CHUNK;
+                            let hi = (lo + CHUNK).min(n);
+                            for layer in &mut worker.layers {
+                                layer.grad_acc.fill(0.0);
+                            }
+                            let loss = worker.batch_grads(&images[lo..hi], &labels[lo..hi]);
+                            let grads: Vec<Vec<f32>> =
+                                worker.layers.iter().map(|l| l.grad_acc.clone()).collect();
+                            chunks.push((ci, loss, grads));
+                        }
+                        let delta: Vec<Vec<(u64, u64, u64)>> = worker
+                            .layers
+                            .iter()
+                            .zip(base)
+                            .map(|(l, bl)| {
+                                l.forward
+                                    .crossbars()
+                                    .chain(l.backward.crossbars())
+                                    .map(|c| c.spike_counters())
+                                    .zip(bl)
+                                    .map(|((r, w, o), &(br, bw, bo))| (r - br, w - bw, o - bo))
+                                    .collect()
+                            })
+                            .collect();
+                        (chunks, delta)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (chunks, delta) = match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                };
+                for (ci, loss, grads) in chunks {
+                    if let Some(slot) = per_chunk.get_mut(ci) {
+                        *slot = Some((loss, grads));
+                    }
+                }
+                for (dl, tl) in deltas.iter_mut().zip(delta) {
+                    for (d, t2) in dl.iter_mut().zip(tl) {
+                        d.0 += t2.0;
+                        d.1 += t2.1;
+                        d.2 += t2.2;
+                    }
+                }
+            }
+        });
+        // Merge in chunk order: float sums then depend only on the chunk
+        // partition (fixed CHUNK), never on the thread count.
+        let mut total = 0.0f32;
+        for (loss, grads) in per_chunk.into_iter().flatten() {
+            total += loss;
+            for (layer, g) in self.layers.iter_mut().zip(grads) {
+                for (acc, gv) in layer.grad_acc.iter_mut().zip(g) {
+                    *acc += gv;
+                }
+            }
+        }
+        for (layer, dl) in self.layers.iter_mut().zip(&deltas) {
+            let mut it = dl.iter();
+            for c in layer
+                .forward
+                .crossbars_mut()
+                .chain(layer.backward.crossbars_mut())
+            {
+                if let Some(&(dr, dw, dout)) = it.next() {
+                    let (r, w, o) = c.spike_counters();
+                    c.restore_spike_counters(r + dr, w + dw, o + dout);
+                }
+            }
+        }
+        self.apply_update(n, lr);
+        mean_loss(total, n)
+    }
+
     /// The Fig. 14(b) update + degradation tick shared by both batch
     /// schedules: read old weights, subtract the averaged partials, write
     /// back (verified when fault tolerance is on), clear the buffers and
     /// advance the clock by one cycle per image.
     fn apply_update(&mut self, batch_len: usize, lr: f32) {
         let scale = lr / batch_len as f32;
+        let wear_active = self.wear_active;
         for layer in &mut self.layers {
             let mut w = layer.forward.read(); // old weights from the arrays
             for (wi, g) in w.iter_mut().zip(&layer.grad_acc) {
@@ -589,6 +1029,29 @@ impl ReramMlp {
             }
             let wt = transpose_no_bias(&w, layer.n_out, layer.n_in);
             match &mut self.fault_tolerance {
+                // Wear-aware path: failures climb the retry → backoff →
+                // remap → mask ladder, and remaps bill the honest cost of
+                // re-programming the displaced column onto a blank spare.
+                Some(ft) if wear_active => {
+                    let r = layer.forward.write_verify(&w, &ft.verify, &mut ft.rng);
+                    let o = layer.forward_repair.process_update(
+                        &mut layer.forward,
+                        &r,
+                        &ft.verify,
+                        &mut ft.rng,
+                    );
+                    ft.report.merge(r);
+                    ft.report.merge(o.repair);
+                    let r = layer.backward.write_verify(&wt, &ft.verify, &mut ft.rng);
+                    let o = layer.backward_repair.process_update(
+                        &mut layer.backward,
+                        &r,
+                        &ft.verify,
+                        &mut ft.rng,
+                    );
+                    ft.report.merge(r);
+                    ft.report.merge(o.repair);
+                }
                 Some(ft) => {
                     let r = layer.forward.write_verify(&w, &ft.verify, &mut ft.rng);
                     layer.forward_repair.process(&mut layer.forward, &r);
@@ -641,8 +1104,30 @@ impl ReramMlp {
         let Some(rs) = self.resilience.as_mut() else {
             return;
         };
+        let guard = rs.scrub.min_headroom_writes;
         for (layer, cur) in self.layers.iter_mut().zip(rs.cursors.iter_mut()) {
             let budget = rs.scrub.rows_per_pass;
+            if guard > 0 {
+                // Wear-leveling-aware walk: visit the same rows the block
+                // scan would, but skip any word line whose smallest
+                // remaining write budget is below the guard — maintenance
+                // writes must not burn a near-dead row's last pulses.
+                for _ in 0..budget {
+                    if layer.forward.row_wear_headroom(cur.0) >= guard {
+                        let r = layer.forward.scrub_rows(cur.0, 1, &rs.verify, &mut rs.rng);
+                        rs.report.merge(r);
+                    }
+                    cur.0 = (cur.0 + 1) % layer.forward.in_dim();
+                }
+                for _ in 0..budget {
+                    if layer.backward.row_wear_headroom(cur.1) >= guard {
+                        let r = layer.backward.scrub_rows(cur.1, 1, &rs.verify, &mut rs.rng);
+                        rs.report.merge(r);
+                    }
+                    cur.1 = (cur.1 + 1) % layer.backward.in_dim();
+                }
+                continue;
+            }
             let r = layer
                 .forward
                 .scrub_rows(cur.0, budget, &rs.verify, &mut rs.rng);
@@ -763,6 +1248,133 @@ impl ReramMlp {
             .iter()
             .map(|l| l.forward.write_spikes() + l.backward.write_spikes())
             .sum()
+    }
+
+    /// Serializes the complete device state — stored cell levels, weight
+    /// scales, live fault maps, wear counters, spike counters, masked
+    /// outputs, the repair-controller ladders and the cumulative cost
+    /// reports — into one self-contained blob (the payload of a
+    /// checkpoint's `WEAR` section). Pair with
+    /// [`restore_device_state`](Self::restore_device_state) on a freshly
+    /// reconstructed (same dims/params/seeds/attachments) MLP to resume a
+    /// wearing run bitwise. The program-and-verify RNGs are deliberately
+    /// *not* serialized: the wear campaign runs `write_sigma = 0`, under
+    /// which the verify loop returns the target without ever drawing from
+    /// them, so their state never influences the trajectory.
+    pub fn device_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_u64(&mut out, DEVICE_STATE_MAGIC);
+        push_u64(&mut out, self.layers.len() as u64);
+        for layer in &self.layers {
+            snapshot_matrix(&mut out, &layer.forward);
+            snapshot_matrix(&mut out, &layer.backward);
+            snapshot_controller(&mut out, &layer.forward_repair);
+            snapshot_controller(&mut out, &layer.backward_repair);
+        }
+        match &self.fault_tolerance {
+            Some(ft) => {
+                out.push(1);
+                snapshot_report(&mut out, &ft.report);
+            }
+            None => out.push(0),
+        }
+        match &self.resilience {
+            Some(rs) => {
+                out.push(1);
+                snapshot_report(&mut out, &rs.report);
+                push_u64(&mut out, rs.images_since_scrub);
+                push_u64(&mut out, rs.passes);
+                push_u64(&mut out, rs.cursors.len() as u64);
+                for &(a, b) in &rs.cursors {
+                    push_u64(&mut out, a as u64);
+                    push_u64(&mut out, b as u64);
+                }
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Restores a [`device_state`](Self::device_state) snapshot onto this
+    /// MLP, which must have been rebuilt along the same construction path
+    /// (dims, params, seeds, fault model, wear attach) as the snapshotted
+    /// one. Returns `false` — leaving the device in an unspecified,
+    /// partially restored state that the caller should rebuild before
+    /// retrying — on foreign magic, framing errors, geometry mismatches,
+    /// or a snapshot whose optional sections don't match this MLP's
+    /// configuration.
+    pub fn restore_device_state(&mut self, blob: &[u8]) -> bool {
+        let mut rd = ByteReader::new(blob);
+        if rd.u64() != Some(DEVICE_STATE_MAGIC) {
+            return false;
+        }
+        if rd.u64().map(|v| v as usize) != Some(self.layers.len()) {
+            return false;
+        }
+        for layer in &mut self.layers {
+            if restore_matrix(&mut rd, &mut layer.forward).is_none()
+                || restore_matrix(&mut rd, &mut layer.backward).is_none()
+                || restore_controller(&mut rd, &mut layer.forward_repair).is_none()
+                || restore_controller(&mut rd, &mut layer.backward_repair).is_none()
+            {
+                return false;
+            }
+        }
+        match rd.u8() {
+            Some(1) => {
+                let Some(report) = restore_report(&mut rd) else {
+                    return false;
+                };
+                let Some(ft) = self.fault_tolerance.as_mut() else {
+                    return false;
+                };
+                ft.report = report;
+            }
+            Some(0) => {}
+            _ => return false,
+        }
+        match rd.u8() {
+            Some(1) => {
+                let Some(report) = restore_report(&mut rd) else {
+                    return false;
+                };
+                let (Some(images), Some(passes), Some(nc)) = (rd.u64(), rd.u64(), rd.u64()) else {
+                    return false;
+                };
+                let mut cursors = Vec::new();
+                for _ in 0..nc {
+                    let (Some(a), Some(b)) = (rd.u64(), rd.u64()) else {
+                        return false;
+                    };
+                    cursors.push((a as usize, b as usize));
+                }
+                let Some(rs) = self.resilience.as_mut() else {
+                    return false;
+                };
+                if cursors.len() != rs.cursors.len() {
+                    return false;
+                }
+                rs.report = report;
+                rs.images_since_scrub = images;
+                rs.passes = passes;
+                rs.cursors = cursors;
+            }
+            Some(0) => {}
+            _ => return false,
+        }
+        rd.finished()
+    }
+}
+
+/// The `pipelayer_nn::Trainer` checkpoint hook: the WEAR section of a PLW2
+/// checkpoint carries exactly the [`ReramMlp::device_state`] blob.
+impl pipelayer_nn::DeviceState for ReramMlp {
+    fn device_state(&self) -> Vec<u8> {
+        ReramMlp::device_state(self)
+    }
+
+    fn restore_device_state(&mut self, blob: &[u8]) -> bool {
+        ReramMlp::restore_device_state(self, blob)
     }
 }
 
@@ -1109,5 +1721,143 @@ mod tests {
         aged.advance_cycles(200_000);
         assert_eq!(base.drifted_cells(), 0);
         assert!(aged.drifted_cells() > 0);
+    }
+
+    /// Attaching the ideal wear model must be a complete no-op: same
+    /// forward bits, same training trajectory, no wear state allocated.
+    #[test]
+    fn ideal_wear_attach_is_exact_noop() {
+        let (tr, trl, _, _) = small_task();
+        let mut plain = ReramMlp::new(&[49, 8, 10], &ReramParams::default(), 6);
+        let mut worn = ReramMlp::new(&[49, 8, 10], &ReramParams::default(), 6);
+        worn.attach_wear(WearModel::ideal(), 6);
+        assert_eq!(worn.wear_exhausted_cells(), 0);
+        for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)).take(3) {
+            let lp = plain.train_batch(imgs, labs, 0.3);
+            let lw = worn.train_batch(imgs, labs, 0.3);
+            assert_eq!(lp.to_bits(), lw.to_bits(), "loss bits diverged");
+        }
+        for li in 0..plain.depth() {
+            assert_eq!(plain.layer_weights(li), worn.layer_weights(li));
+        }
+        assert_eq!(plain.write_spikes(), worn.write_spikes());
+    }
+
+    /// Under an aggressive wear model cells die mid-training, the ladder
+    /// consumes spares, and the network keeps producing finite outputs.
+    #[test]
+    fn wear_kills_cells_and_ladder_consumes_spares() {
+        let (tr, trl, _, _) = small_task();
+        let mut mlp = ReramMlp::with_fault_tolerance(
+            &[49, 8, 10],
+            &ReramParams::default(),
+            6,
+            &FaultModel::ideal(),
+            VerifyPolicy::with_attempts(2),
+            SpareBudget::typical(),
+        );
+        mlp.attach_wear(WearModel::with_endurance(200.0), 6);
+        mlp.set_repair_policy(RepairPolicy::laddered());
+        let spares0 = mlp.spares_left();
+        for _ in 0..6 {
+            for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)) {
+                mlp.train_batch(imgs, labs, 0.3);
+            }
+        }
+        assert!(mlp.wear_exhausted_cells() > 0, "cells must wear out");
+        assert!(
+            mlp.spares_left() < spares0 || mlp.masked_units() > 0,
+            "dead columns must climb the ladder"
+        );
+        let out = mlp.forward(&[0.5; 49]);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    /// The chunked parallel feed must be bitwise independent of the
+    /// thread count — 1, 2 and 8 workers give identical weights, loss
+    /// bits and spike counters.
+    #[test]
+    fn parallel_feed_is_thread_count_invariant() {
+        let (tr, trl, _, _) = small_task();
+        let build = || {
+            let mut m = ReramMlp::with_fault_tolerance(
+                &[49, 8, 10],
+                &ReramParams::default(),
+                6,
+                &FaultModel::ideal(),
+                VerifyPolicy::with_attempts(2),
+                SpareBudget::typical(),
+            );
+            m.attach_wear(WearModel::with_endurance(500.0), 6);
+            m
+        };
+        let mut one = build();
+        let mut two = build();
+        let mut eight = build();
+        for (imgs, labs) in tr.chunks(20).zip(trl.chunks(20)).take(3) {
+            let l1 = one.train_batch_parallel(imgs, labs, 0.3, 1);
+            let l2 = two.train_batch_parallel(imgs, labs, 0.3, 2);
+            let l8 = eight.train_batch_parallel(imgs, labs, 0.3, 8);
+            assert_eq!(l1.to_bits(), l2.to_bits(), "2-thread loss diverged");
+            assert_eq!(l1.to_bits(), l8.to_bits(), "8-thread loss diverged");
+        }
+        for li in 0..one.depth() {
+            assert_eq!(one.layer_weights(li), two.layer_weights(li));
+            assert_eq!(one.layer_weights(li), eight.layer_weights(li));
+        }
+        assert_eq!(one.read_spikes(), two.read_spikes());
+        assert_eq!(one.read_spikes(), eight.read_spikes());
+        assert_eq!(one.write_spikes(), eight.write_spikes());
+    }
+
+    /// Snapshot → fresh rebuild → restore must reproduce the wearing
+    /// run's forward trajectory bitwise, wear counters included.
+    #[test]
+    fn device_state_roundtrips_under_wear() {
+        let (tr, trl, _, _) = small_task();
+        let build = || {
+            let mut m = ReramMlp::with_fault_tolerance(
+                &[49, 8, 10],
+                &ReramParams::default(),
+                6,
+                &FaultModel::with_stuck_rate(1e-3),
+                VerifyPolicy::with_attempts(2),
+                SpareBudget::typical(),
+            );
+            m.attach_wear(WearModel::with_endurance(300.0), 6);
+            m.set_repair_policy(RepairPolicy::laddered());
+            m
+        };
+        let mut live = build();
+        for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)).take(4) {
+            live.train_batch(imgs, labs, 0.3);
+        }
+        let blob = live.device_state();
+
+        let mut resumed = build();
+        assert!(resumed.restore_device_state(&blob), "restore must accept");
+        for li in 0..live.depth() {
+            assert_eq!(live.layer_weights(li), resumed.layer_weights(li));
+        }
+        assert_eq!(live.wear_exhausted_cells(), resumed.wear_exhausted_cells());
+        assert_eq!(live.read_spikes(), resumed.read_spikes());
+        assert_eq!(live.write_spikes(), resumed.write_spikes());
+
+        // Both continue identically: the snapshot captured everything.
+        for (imgs, labs) in tr.chunks(10).zip(trl.chunks(10)).skip(4).take(4) {
+            let ll = live.train_batch(imgs, labs, 0.3);
+            let lr = resumed.train_batch(imgs, labs, 0.3);
+            assert_eq!(ll.to_bits(), lr.to_bits(), "post-restore loss diverged");
+        }
+        for li in 0..live.depth() {
+            assert_eq!(live.layer_weights(li), resumed.layer_weights(li));
+        }
+
+        // Corrupt and truncated blobs are rejected, not panicked on.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(!build().restore_device_state(&bad));
+        assert!(!build().restore_device_state(&blob[..blob.len() / 2]));
+        assert!(!build().restore_device_state(&[]));
     }
 }

@@ -63,7 +63,7 @@ pub use api::Accelerator;
 pub use config::{ConfigError, DatapathFormat, PipeLayerConfig};
 pub use mapping::{MapError, MappedLayer, MappedNetwork};
 pub use perf::RunEstimate;
-pub use repair::{RepairController, SpareBudget};
+pub use repair::{RepairController, RepairOutcome, RepairPolicy, SpareBudget};
 pub use report::ConfigurationReport;
 pub use scrub::{DriftReport, DriftSample, ScrubPolicy};
 pub use variation::{ReramNoiseHook, VariationPoint};

@@ -31,6 +31,12 @@ pub struct ScrubPolicy {
     /// re-pulse — the knob the analytic energy/endurance models use
     /// (the functional simulator counts actual pulses instead).
     pub repulse_fraction: f64,
+    /// Wear-leveling guard: a scrub pass skips any word line whose
+    /// smallest remaining write budget is below this threshold, instead of
+    /// burning a near-dead row's last pulses on maintenance writes. `0`
+    /// disables the guard (scrub every row — the exact pre-wear
+    /// behaviour); the guard only bites when a wear model is attached.
+    pub min_headroom_writes: u64,
 }
 
 impl ScrubPolicy {
@@ -40,6 +46,7 @@ impl ScrubPolicy {
             interval_images: 0,
             rows_per_pass: 0,
             repulse_fraction: 0.0,
+            min_headroom_writes: 0,
         }
     }
 
@@ -51,7 +58,16 @@ impl ScrubPolicy {
             interval_images,
             rows_per_pass,
             repulse_fraction: 0.05,
+            min_headroom_writes: 0,
         }
+    }
+
+    /// The same schedule with the wear-leveling guard set: rows whose
+    /// remaining write budget has fallen below `min_headroom_writes` are
+    /// skipped rather than scrubbed.
+    pub fn with_min_headroom(mut self, min_headroom_writes: u64) -> Self {
+        self.min_headroom_writes = min_headroom_writes;
+        self
     }
 
     /// True when the policy never scrubs.
@@ -142,6 +158,14 @@ mod tests {
         assert_eq!(p.passes_per_image(), 0.01);
         assert_eq!(p.rows_per_image(), 0.08);
         assert_eq!(p.repulse_fraction, 0.05);
+        assert_eq!(p.min_headroom_writes, 0, "guard defaults off");
+    }
+
+    #[test]
+    fn headroom_guard_is_builder_set() {
+        let p = ScrubPolicy::every(100, 8).with_min_headroom(500);
+        assert_eq!(p.min_headroom_writes, 500);
+        assert_eq!(p.rows_per_pass, 8, "schedule unchanged");
     }
 
     #[test]

@@ -44,4 +44,4 @@ pub use network::Network;
 pub use optimizer::Optimizer;
 pub use serialize::{CheckpointState, TrainCursor};
 pub use spec::{LayerSpec, NetSpec};
-pub use trainer::{CheckpointError, CheckpointPolicy, FitOutcome};
+pub use trainer::{CheckpointError, CheckpointPolicy, DeviceState, FitOutcome};

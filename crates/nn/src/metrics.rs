@@ -74,9 +74,33 @@ pub struct DegradationReport {
     pub baseline: f32,
     /// Accuracy of the degraded (faulty / corrupted) run.
     pub degraded: f32,
+    /// Spare columns still unconsumed across the device when the degraded
+    /// accuracy was measured (0 for runs without a repair layer).
+    pub spares_left: usize,
+    /// Output columns masked off after the repair ladder exhausted its
+    /// options — the graceful-degradation toll paid so far.
+    pub masked_units: usize,
 }
 
 impl DegradationReport {
+    /// A report with no repair-layer state (spares/masks zero) — the shape
+    /// every pre-wear robustness study produces.
+    pub fn new(baseline: f32, degraded: f32) -> Self {
+        DegradationReport {
+            baseline,
+            degraded,
+            spares_left: 0,
+            masked_units: 0,
+        }
+    }
+
+    /// Attaches the repair-layer state observed at measurement time.
+    pub fn with_repair_state(mut self, spares_left: usize, masked_units: usize) -> Self {
+        self.spares_left = spares_left;
+        self.masked_units = masked_units;
+        self
+    }
+
     /// Accuracy lost, percentage points (positive = worse).
     pub fn drop_points(&self) -> f32 {
         accuracy_drop_points(self.baseline, self.degraded)
@@ -107,20 +131,19 @@ mod tests {
 
     #[test]
     fn degradation_report_measures_in_points() {
-        let r = DegradationReport {
-            baseline: 0.92,
-            degraded: 0.895,
-        };
+        let r = DegradationReport::new(0.92, 0.895);
         assert!((r.drop_points() - 2.5).abs() < 1e-4);
         assert!(r.within(3.0));
         assert!(!r.within(2.0));
         // An improvement is a negative drop and always "within".
-        let better = DegradationReport {
-            baseline: 0.5,
-            degraded: 0.6,
-        };
+        let better = DegradationReport::new(0.5, 0.6);
         assert!(better.drop_points() < 0.0);
         assert!(better.within(0.0));
+        // Repair state rides along without touching the accuracy math.
+        let repaired = DegradationReport::new(0.92, 0.91).with_repair_state(3, 1);
+        assert_eq!(repaired.spares_left, 3);
+        assert_eq!(repaired.masked_units, 1);
+        assert!(repaired.within(2.0));
     }
 
     #[test]

@@ -13,10 +13,16 @@
 //!   masquerade as an unknown section). Known tags: `TNSR` (the PLW1
 //!   tensor body),
 //!   `OPTS` (optimizer velocity buffers), `RNGS` (shuffle seed), `CURS`
-//!   (epoch/image cursor + per-epoch loss history). Unknown tags are
+//!   (epoch/image cursor + per-epoch loss history), `WEAR` (an opaque
+//!   device-state blob — wear counters, live fault map and repair-ladder
+//!   state captured by `ReramMlp::device_state`). Unknown tags are
 //!   skipped, so the format is forward-extensible; every section is
 //!   integrity-checked, so a torn or bit-flipped blob fails loudly with
 //!   [`DecodeError::BadChecksum`] instead of resuming from garbage.
+//!
+//! The PLW2 container is also usable standalone via [`save_sections`] /
+//! [`load_sections`] for sidecar artifacts (e.g. the wear-out campaign's
+//! kill/resume snapshots) that carry their own tags.
 //!
 //! [`load_checkpoint`] accepts both formats (a PLW1 blob yields an empty
 //! [`CheckpointState`]), and every decoder caps its allocations by the
@@ -272,18 +278,21 @@ fn apply_tensors(net: &mut Network, tensors: Vec<Tensor>) -> Result<(), DecodeEr
         });
     }
     {
+        // The count check above guarantees the iterator yields a (weight,
+        // bias) pair per parameterised layer; a `None` here would mean that
+        // invariant broke, and reporting it as a mismatch beats panicking.
         let mut it = tensors.iter();
         let mut index = 0usize;
         for layer in net.layers_mut() {
             if let Some(p) = layer.params_mut() {
-                let w = it.next().expect("count checked");
-                if w.dims() != p.weight.dims() {
-                    return Err(DecodeError::ShapeMismatch { index });
+                match it.next() {
+                    Some(w) if w.dims() == p.weight.dims() => {}
+                    _ => return Err(DecodeError::ShapeMismatch { index }),
                 }
                 index += 1;
-                let b = it.next().expect("count checked");
-                if b.dims() != p.bias.dims() {
-                    return Err(DecodeError::ShapeMismatch { index });
+                match it.next() {
+                    Some(b) if b.dims() == p.bias.dims() => {}
+                    _ => return Err(DecodeError::ShapeMismatch { index }),
                 }
                 index += 1;
             }
@@ -292,8 +301,10 @@ fn apply_tensors(net: &mut Network, tensors: Vec<Tensor>) -> Result<(), DecodeEr
     let mut it = tensors.into_iter();
     for layer in net.layers_mut() {
         if let Some(p) = layer.params_mut() {
-            *p.weight = it.next().expect("validated");
-            *p.bias = it.next().expect("validated");
+            if let (Some(w), Some(b)) = (it.next(), it.next()) {
+                *p.weight = w;
+                *p.bias = b;
+            }
         }
     }
     Ok(())
@@ -346,6 +357,11 @@ pub struct CheckpointState {
     /// Optimizer velocity buffers, two entries (weight, bias) per
     /// parameterised layer (`None` when training ran plain SGD).
     pub velocities: Option<Vec<Option<Tensor>>>,
+    /// Opaque device-state blob (wear counters, live fault map,
+    /// repair-ladder state — the bytes `ReramMlp::device_state` produced),
+    /// carried verbatim in a `WEAR` section. `None` when the run has no
+    /// wearing device attached.
+    pub wear: Option<Vec<u8>>,
 }
 
 fn push_section(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
@@ -386,13 +402,61 @@ pub fn save_checkpoint(net: &mut Network, state: &CheckpointState) -> Vec<u8> {
         }
         sections.push((*b"CURS", p));
     }
+    if let Some(w) = &state.wear {
+        sections.push((*b"WEAR", w.clone()));
+    }
+    save_sections(&sections)
+}
+
+/// One PLW2 section: a four-byte tag and its payload.
+pub type Section = ([u8; 4], Vec<u8>);
+
+/// Frames arbitrary `(tag, payload)` sections into a standalone PLW2
+/// container (magic · section count · CRC-protected sections). The
+/// checkpoint writer uses this internally; sidecar artifacts (device-state
+/// snapshots, campaign cursors) use it directly with their own tags.
+pub fn save_sections(sections: &[Section]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend(MAGIC2);
     out.extend(len_u32(sections.len()).to_le_bytes());
-    for (tag, payload) in &sections {
+    for (tag, payload) in sections {
         push_section(&mut out, tag, payload);
     }
     out
+}
+
+/// Parses a PLW2 container back into its `(tag, payload)` sections,
+/// CRC-checking every one. Tags are returned verbatim (no known-tag
+/// filtering) in on-wire order.
+///
+/// # Errors
+///
+/// [`DecodeError::BadMagic`] for non-PLW2 input, [`DecodeError::Truncated`]
+/// when a length field runs past the blob, [`DecodeError::BadChecksum`] on
+/// any CRC mismatch, [`DecodeError::TrailingBytes`] when bytes remain past
+/// the declared section count.
+pub fn load_sections(bytes: &[u8]) -> Result<Vec<Section>, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC2 {
+        return Err(DecodeError::BadMagic);
+    }
+    let nsec = r.u32()? as usize;
+    let mut sections = Vec::new();
+    for _ in 0..nsec {
+        let tag = r.take(4)?;
+        let tag: [u8; 4] = [tag[0], tag[1], tag[2], tag[3]];
+        let len = r.u32()? as usize;
+        let payload = r.take(len)?;
+        let stored = r.u32()?;
+        if section_crc(&tag, payload) != stored {
+            return Err(DecodeError::BadChecksum);
+        }
+        sections.push((tag, payload.to_vec()));
+    }
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(sections)
 }
 
 fn decode_velocities(r: &mut Reader) -> Result<Vec<Option<Tensor>>, DecodeError> {
@@ -478,6 +542,7 @@ pub fn load_checkpoint(net: &mut Network, bytes: &[u8]) -> Result<CheckpointStat
             b"OPTS" => state.velocities = Some(decode_velocities(&mut pr)?),
             b"RNGS" => state.shuffle_seed = pr.u64()?,
             b"CURS" => state.cursor = Some(decode_cursor(&mut pr)?),
+            b"WEAR" => state.wear = Some(payload.to_vec()),
             _ => {} // unknown section: forward-compatible skip
         }
     }
@@ -574,6 +639,7 @@ mod tests {
                 Some(Tensor::full(&[4], -0.25)),
                 None,
             ]),
+            wear: Some(vec![0xDE, 0xAD, 0x01, 0x02, 0x03]),
         }
     }
 
@@ -588,6 +654,7 @@ mod tests {
         assert!(a.infer(&x).allclose(&b.infer(&x), 0.0));
         assert_eq!(got.shuffle_seed, state.shuffle_seed);
         assert_eq!(got.cursor, state.cursor);
+        assert_eq!(got.wear, state.wear, "WEAR blob must ride along verbatim");
         let (sv, gv) = (state.velocities.unwrap(), got.velocities.unwrap());
         assert_eq!(sv.len(), gv.len());
         for (s, g) in sv.iter().zip(&gv) {
@@ -607,6 +674,7 @@ mod tests {
         let state = load_checkpoint(&mut b, &blob).expect("PLW1 must load");
         assert!(state.cursor.is_none());
         assert!(state.velocities.is_none());
+        assert!(state.wear.is_none());
         let x = Tensor::ones(&[1, 28, 28]);
         assert!(a.infer(&x).allclose(&b.infer(&x), 0.0));
     }
@@ -679,6 +747,37 @@ mod tests {
             load_checkpoint(&mut b, &blob).err(),
             Some(DecodeError::TrailingBytes)
         );
+    }
+
+    #[test]
+    fn standalone_sections_roundtrip_and_catch_corruption() {
+        let sections = vec![
+            (*b"WEAR", vec![1u8, 2, 3, 4, 5]),
+            (*b"CURS", vec![9u8; 32]),
+            (*b"XTRA", Vec::new()),
+        ];
+        let blob = save_sections(&sections);
+        assert_eq!(load_sections(&blob).expect("roundtrip"), sections);
+
+        // Bit flip in the first payload (magic 4 + count 4 + tag 4 + len 4
+        // puts its bytes at 16..21) → BadChecksum.
+        let mut bad = blob.clone();
+        bad[17] ^= 0x40;
+        assert_eq!(load_sections(&bad).err(), Some(DecodeError::BadChecksum));
+
+        // Truncation mid-section → Truncated; wrong magic → BadMagic;
+        // appended garbage → TrailingBytes.
+        assert_eq!(
+            load_sections(&blob[..blob.len() - 2]).err(),
+            Some(DecodeError::Truncated)
+        );
+        assert_eq!(
+            load_sections(b"PLW1....").err(),
+            Some(DecodeError::BadMagic)
+        );
+        let mut tail = blob;
+        tail.push(0);
+        assert_eq!(load_sections(&tail).err(), Some(DecodeError::TrailingBytes));
     }
 
     #[test]

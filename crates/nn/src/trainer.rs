@@ -13,7 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Seed of the epoch-shuffle RNG stream (one stream for the whole run;
 /// epoch `e`'s order is the state after `e + 1` Fisher–Yates passes, so a
@@ -151,6 +151,10 @@ pub enum CheckpointError {
     /// The training setup itself is unusable: zero epochs or batch size,
     /// an empty training set, or a zero checkpoint interval.
     Config(&'static str),
+    /// The attached [`DeviceState`] hook and the checkpoint's `WEAR`
+    /// section disagree: the device rejected the blob, or the checkpoint
+    /// carries no blob for a run that has a wearing device attached.
+    Device(&'static str),
 }
 
 impl fmt::Display for CheckpointError {
@@ -159,6 +163,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             CheckpointError::Decode(e) => write!(f, "checkpoint decode failed: {e}"),
             CheckpointError::Config(m) => write!(f, "invalid resumable-training setup: {m}"),
+            CheckpointError::Device(m) => write!(f, "device-state restore failed: {m}"),
         }
     }
 }
@@ -208,12 +213,46 @@ pub trait BatchNoise: Send + Sync {
     fn perturb(&self, buf: &mut [f32], layer: usize, is_bias: bool, batch: u64);
 }
 
+/// A wearing device whose mutable state (wear counters, live fault map,
+/// repair-ladder position) must ride along with checkpoints so a killed
+/// run resumes from the device it actually had, not a pristine one. The
+/// trainer only touches the hook at checkpoint-write and resume time — the
+/// hot training loop never calls it. The blob is opaque to this crate; it
+/// is carried verbatim in the PLW2 `WEAR` section.
+///
+/// The downstream implementor is the `pipelayer` crate's `ReramMlp`
+/// (`device_state` / `restore_device_state`); this crate only defines the
+/// injection point, mirroring [`BatchNoise`].
+pub trait DeviceState: Send {
+    /// Serialises the device's mutable state to an opaque blob.
+    fn device_state(&self) -> Vec<u8>;
+
+    /// Restores state captured by [`device_state`](Self::device_state).
+    /// Returns `false` when the blob does not match this device (corrupt,
+    /// truncated, or from a different geometry); the device may then be in
+    /// a partially-restored state and must be rebuilt before use.
+    fn restore_device_state(&mut self, blob: &[u8]) -> bool;
+}
+
+/// Locks a shared device, riding through a poisoned mutex: the state is a
+/// plain byte-level snapshot, valid even if another thread panicked while
+/// holding the lock.
+fn lock_device<'a>(
+    d: &'a Mutex<dyn DeviceState + 'static>,
+) -> std::sync::MutexGuard<'a, dyn DeviceState + 'static> {
+    match d.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// Drives training of a [`Network`] over a [`SyntheticMnist`] dataset.
 #[derive(Clone, Default)]
 pub struct Trainer {
     config: TrainConfig,
     optimizer: Option<Optimizer>,
     noise: Option<Arc<dyn BatchNoise>>,
+    device: Option<Arc<Mutex<dyn DeviceState>>>,
 }
 
 impl fmt::Debug for Trainer {
@@ -222,6 +261,7 @@ impl fmt::Debug for Trainer {
             .field("config", &self.config)
             .field("optimizer", &self.optimizer)
             .field("noise", &self.noise.as_ref().map(|_| "<BatchNoise>"))
+            .field("device", &self.device.as_ref().map(|_| "<DeviceState>"))
             .finish()
     }
 }
@@ -234,6 +274,7 @@ impl Trainer {
             config,
             optimizer: None,
             noise: None,
+            device: None,
         }
     }
 
@@ -252,6 +293,16 @@ impl Trainer {
     /// kill/resume replays exactly.
     pub fn with_noise(mut self, noise: Arc<dyn BatchNoise>) -> Self {
         self.noise = Some(noise);
+        self
+    }
+
+    /// Attaches a wearing device whose state is persisted into every
+    /// checkpoint's `WEAR` section and restored on
+    /// [`resume_from`](Self::resume_from) (see [`DeviceState`]). Resume
+    /// fails with [`CheckpointError::Device`] if the checkpoint has no
+    /// `WEAR` blob or the device rejects it.
+    pub fn with_device_state(mut self, device: Arc<Mutex<dyn DeviceState>>) -> Self {
+        self.device = Some(device);
         self
     }
 
@@ -322,6 +373,23 @@ impl Trainer {
     ) -> Result<FitOutcome, CheckpointError> {
         let bytes = std::fs::read(&policy.path)?;
         let state = load_checkpoint(net, &bytes)?;
+        match (&self.device, &state.wear) {
+            // The guard performs the restore; a failed restore selects
+            // this arm, a successful one falls through to the no-op arm.
+            (Some(d), Some(blob)) if !lock_device(d).restore_device_state(blob) => {
+                return Err(CheckpointError::Device(
+                    "device rejected the checkpoint's WEAR blob",
+                ));
+            }
+            (Some(_), None) => {
+                return Err(CheckpointError::Device(
+                    "checkpoint carries no WEAR section for the attached device",
+                ));
+            }
+            // A WEAR blob with no device attached is skipped, like any
+            // other section a reader does not understand.
+            _ => {}
+        }
         self.run_from(net, data, Some(policy), state)
     }
 
@@ -489,6 +557,7 @@ impl Trainer {
             shuffle_seed: SHUFFLE_SEED,
             cursor: Some(cursor),
             velocities: states.as_ref().map(|s| s.export_velocities()),
+            wear: self.device.as_ref().map(|d| lock_device(d).device_state()),
         };
         let blob = save_checkpoint(net, &state);
         atomic_write(&policy.path, &blob)?;
@@ -917,5 +986,71 @@ mod tests {
         };
         assert_eq!(first.epoch_losses, again.epoch_losses, "history lost");
         assert_eq!(finished, weight_bits(&mut fresh), "weights changed");
+    }
+
+    /// A stand-in for the downstream wearing device: its whole state is one
+    /// counter, serialised as 8 little-endian bytes. Anything else is
+    /// rejected, exactly like `ReramMlp::restore_device_state` rejects a
+    /// geometry-mismatched blob.
+    struct MockDevice {
+        counter: u64,
+    }
+
+    impl DeviceState for MockDevice {
+        fn device_state(&self) -> Vec<u8> {
+            self.counter.to_le_bytes().to_vec()
+        }
+
+        fn restore_device_state(&mut self, blob: &[u8]) -> bool {
+            let Ok(bytes) = <[u8; 8]>::try_from(blob) else {
+                return false;
+            };
+            self.counter = u64::from_le_bytes(bytes);
+            true
+        }
+    }
+
+    /// The WEAR section must carry the attached device's state into the
+    /// checkpoint and back out on resume — and a mismatched blob must fail
+    /// with `CheckpointError::Device`, not resume silently on a pristine
+    /// device.
+    #[test]
+    fn device_state_rides_checkpoints_and_mismatches_fail_loudly() {
+        let data = SyntheticMnist::generate(64, 16, 61);
+        let device = Arc::new(Mutex::new(MockDevice { counter: 0xC0FFEE }));
+        let shared: Arc<Mutex<dyn DeviceState>> = device.clone();
+        let trainer = Trainer::new(small_config(1)).with_device_state(shared.clone());
+
+        let path = ckpt_path("device-state");
+        let mut policy = CheckpointPolicy::every(&path, 32);
+        policy.stop_after_images = Some(16);
+        let mut net = zoo::mnist_a(61);
+        let outcome = trainer.fit_resumable(&mut net, &data, &policy).unwrap();
+        assert!(matches!(outcome, FitOutcome::Interrupted { .. }));
+
+        // Perturb the live device, then resume: the checkpointed counter
+        // must win over the in-memory one.
+        device.lock().unwrap().counter = 1;
+        policy.stop_after_images = None;
+        let mut fresh = zoo::mnist_a(62);
+        trainer.resume_from(&mut fresh, &data, &policy).unwrap();
+        assert_eq!(device.lock().unwrap().counter, 0xC0FFEE);
+
+        // A checkpoint written WITHOUT a device must not resume into a
+        // trainer that has one.
+        let bare = Trainer::new(small_config(1));
+        let mut net2 = zoo::mnist_a(63);
+        let mut kill = CheckpointPolicy::every(&path, 32);
+        kill.stop_after_images = Some(16);
+        assert!(matches!(
+            bare.fit_resumable(&mut net2, &data, &kill).unwrap(),
+            FitOutcome::Interrupted { .. }
+        ));
+        let err = trainer.resume_from(&mut fresh, &data, &policy);
+        assert!(
+            matches!(err, Err(CheckpointError::Device(_))),
+            "missing WEAR section must fail loudly: {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

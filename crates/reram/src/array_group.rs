@@ -15,6 +15,7 @@ use crate::energy::ReramParams;
 use crate::fault::{FaultMap, FaultModel, ProgramReport, VerifyPolicy};
 use crate::noise::NoiseModel;
 use crate::seedstream;
+use crate::wear::WearModel;
 use rand::Rng;
 
 /// A float matrix programmed onto ReRAM crossbars, supporting exact
@@ -143,6 +144,71 @@ impl ReramMatrix {
         for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
             pos.attach_noise(model, seedstream::crossbar_seed(seed, 2 * g as u64));
             neg.attach_noise(model, seedstream::crossbar_seed(seed, 2 * g as u64 + 1));
+        }
+    }
+
+    /// Attaches the endurance wear-out model to every member crossbar,
+    /// with per-crossbar sub-seeds from the documented
+    /// `(seed, crossbar, row, col, epoch)` scheme so the eight arrays draw
+    /// independent write-budget lotteries. An ideal model detaches wear
+    /// (exact no-op).
+    pub fn attach_wear(&mut self, model: WearModel, seed: u64) {
+        for (g, (pos, neg)) in self.groups.iter_mut().enumerate() {
+            pos.attach_wear(model, seedstream::crossbar_seed(seed, 2 * g as u64));
+            neg.attach_wear(model, seedstream::crossbar_seed(seed, 2 * g as u64 + 1));
+        }
+    }
+
+    /// Cells across all member crossbars that have exhausted their write
+    /// budget (0 without an attached wear model).
+    pub fn wear_exhausted_cells(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|(p, n)| [p, n])
+            .filter_map(|x| x.wear_state())
+            .map(|w| w.exhausted_cells())
+            .sum()
+    }
+
+    /// The smallest remaining write budget on word line `row` across all
+    /// member crossbars — `u64::MAX` without wear. A scrub pass below its
+    /// headroom threshold skips the row instead of burning its last writes.
+    pub fn row_wear_headroom(&self, row: usize) -> u64 {
+        self.groups
+            .iter()
+            .flat_map(|(p, n)| [p, n])
+            .map(|x| x.row_wear_headroom(row))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Shared read access to the member crossbars (pos, neg interleaved,
+    /// least-significant group first) — checkpoint snapshot plumbing.
+    pub fn crossbars(&self) -> impl Iterator<Item = &Crossbar> {
+        self.groups.iter().flat_map(|(p, n)| [p, n])
+    }
+
+    /// Mutable access to the member crossbars in the same order as
+    /// [`crossbars`](Self::crossbars) — checkpoint restore plumbing.
+    pub fn crossbars_mut(&mut self) -> impl Iterator<Item = &mut Crossbar> {
+        self.groups.iter_mut().flat_map(|(p, n)| [p, n].into_iter())
+    }
+
+    /// Restores the weight scale persisted by a checkpoint (the quantizer
+    /// recomputes it on every write, so this only matters between a restore
+    /// and the first update).
+    pub fn restore_weight_scale(&mut self, scale: f32) {
+        self.weight_scale = scale;
+    }
+
+    /// Restores the masked-output set persisted by a checkpoint;
+    /// out-of-range indices are ignored.
+    pub fn restore_masked_outputs(&mut self, masked: &[usize]) {
+        self.masked_outputs.fill(false);
+        for &o in masked {
+            if let Some(m) = self.masked_outputs.get_mut(o) {
+                *m = true;
+            }
         }
     }
 
@@ -296,6 +362,37 @@ impl ReramMatrix {
             }
             self.masked_outputs[o] = false;
         }
+    }
+
+    /// Remaps the given logical outputs onto fresh spare bit lines at
+    /// honest device cost: unlike [`repair_outputs`](Self::repair_outputs)
+    /// (which models only the routing change), the spare's cells start
+    /// blank, so the displaced column is re-programmed from the stored
+    /// intent levels through the full program-and-verify loop on every
+    /// member crossbar. The merged report carries the real pulse /
+    /// verify-read bill (with `UnrecoverableCell::col` as logical output
+    /// indices), and under wear the spare cells draw fresh budgets — an
+    /// unlucky spare can die during its own commissioning and re-enter the
+    /// repair ladder. Remapped outputs are unmasked. Out-of-range indices
+    /// are ignored.
+    pub fn remap_outputs(
+        &mut self,
+        outputs: &[usize],
+        policy: &VerifyPolicy,
+        rng: &mut impl Rng,
+    ) -> ProgramReport {
+        let mut report = ProgramReport::default();
+        for &o in outputs {
+            if o >= self.out_dim {
+                continue;
+            }
+            for (pos, neg) in self.groups.iter_mut() {
+                report.merge(pos.reprogram_col_from_spare(o, policy, rng));
+                report.merge(neg.reprogram_col_from_spare(o, policy, rng));
+            }
+            self.masked_outputs[o] = false;
+        }
+        report
     }
 
     /// Disconnects logical output `o` — the graceful-degradation path when
@@ -573,6 +670,60 @@ mod tests {
         for v in &repaired {
             assert!((v - 0.75).abs() < 2.0 * m.weight_scale(), "{repaired:?}");
         }
+    }
+
+    #[test]
+    fn remap_outputs_rewrites_displaced_column_at_honest_cost() {
+        let w = vec![0.75f32; 4];
+        let faults = FaultModel {
+            stuck_at_zero: 0.3,
+            stuck_at_max: 0.0,
+            dead: 0.0,
+        };
+        let mut m = ReramMatrix::program_with_faults(&w, 2, 2, &ReramParams::default(), &faults, 3);
+        assert!(m.fault_count() > 0);
+        let before_writes = m.write_spikes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let report = m.remap_outputs(&[0, 1], &VerifyPolicy::default(), &mut rng);
+        assert_eq!(m.fault_count(), 0, "remap clears every column fault");
+        assert!(
+            report.pulses > 0,
+            "blank spares must be re-programmed from intent"
+        );
+        assert_eq!(
+            m.write_spikes(),
+            before_writes + report.pulses,
+            "the remap bill lands on the write counter"
+        );
+        let repaired = m.read();
+        for v in &repaired {
+            assert!((v - 0.75).abs() < 2.0 * m.weight_scale(), "{repaired:?}");
+        }
+        // Out-of-range outputs are ignored, not panicked on.
+        let empty = m.remap_outputs(&[99], &VerifyPolicy::default(), &mut rng);
+        assert_eq!(empty.pulses, 0);
+    }
+
+    #[test]
+    fn wear_attaches_per_crossbar_and_counts_deaths() {
+        use crate::wear::WearModel;
+        let w = vec![0.5f32; 4];
+        let mut m = ReramMatrix::program(&w, 2, 2, &ReramParams::default());
+        m.attach_wear(
+            WearModel {
+                median_writes: 3.0,
+                sigma: 0.0,
+            },
+            11,
+        );
+        assert_eq!(m.wear_exhausted_cells(), 0);
+        assert_eq!(m.row_wear_headroom(0), 3);
+        // Full-swing rewrites hammer the populated nibbles past 3 pulses.
+        m.write(&[-0.5, 0.5, -0.5, 0.5]);
+        m.write(&[0.5, -0.5, 0.5, -0.5]);
+        assert!(m.wear_exhausted_cells() > 0, "swings must kill cells");
+        assert!(m.fault_count() > 0, "deaths surface as live faults");
+        assert_eq!(m.row_wear_headroom(0), 0);
     }
 
     #[test]

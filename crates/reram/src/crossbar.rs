@@ -3,11 +3,12 @@
 
 use crate::cell::ReramCell;
 use crate::drift::{DriftModel, DriftState};
-use crate::fault::{FaultMap, ProgramReport, UnrecoverableCell, VerifyPolicy};
+use crate::fault::{FaultKind, FaultMap, ProgramReport, UnrecoverableCell, VerifyPolicy};
 use crate::integrate_fire::IntegrateFire;
 use crate::noise::{NoiseModel, NoiseState};
 use crate::packed::{self, BitPlanes, PackedSpikes};
 use crate::spike::{SpikeDriver, SpikeTrain};
+use crate::wear::{WearModel, WearState};
 use rand::Rng;
 
 /// A `rows × cols` crossbar of multi-level cells.
@@ -32,6 +33,9 @@ pub struct Crossbar {
     /// Analog read-path non-idealities (lognormal spread, IR drop, read
     /// noise); `None` for a noiseless array.
     noise: Option<NoiseState>,
+    /// Endurance wear-out: per-cell programming-pulse budgets whose
+    /// exhaustion raises a live dead fault; `None` for an unwearing array.
+    wear: Option<WearState>,
     /// Bit-plane decomposition of the levels the *next* read will see,
     /// rebuilt lazily by `mvm_spiked` and dropped by anything that can
     /// change a read: programming, scrub, fault repair, clock advance,
@@ -57,6 +61,7 @@ impl Crossbar {
             faults: None,
             drift: None,
             noise: None,
+            wear: None,
             plane_cache: None,
             read_spikes: 0,
             write_spikes: 0,
@@ -112,6 +117,56 @@ impl Crossbar {
         self.noise.as_ref()
     }
 
+    /// Attaches the endurance wear-out model: every cell draws a lognormal
+    /// write budget from its `(seed, row, col, generation)` stream, every
+    /// programming pulse decrements it, and exhaustion raises a live
+    /// [`FaultKind::Dead`] fault. An [`ideal`](WearModel::is_ideal) model
+    /// detaches wear entirely (the exact-no-op default). `seed` should
+    /// already be crossbar-qualified via
+    /// [`crate::seedstream::crossbar_seed`].
+    pub fn attach_wear(&mut self, model: WearModel, seed: u64) {
+        self.wear = if model.is_ideal() {
+            None
+        } else {
+            Some(WearState::new(self.rows, self.cols, model, seed))
+        };
+        self.plane_cache = None;
+    }
+
+    /// The attached wear state, if any.
+    pub fn wear_state(&self) -> Option<&WearState> {
+        self.wear.as_ref()
+    }
+
+    /// Restores wear counters exported by
+    /// [`WearState::counters`]; budgets re-derive from the attached model
+    /// and seed. Returns `false` when no wear is attached or the geometry
+    /// mismatches. Checkpoint restore only — issues no pulses.
+    pub fn restore_wear_counters(&mut self, pulses: &[u64], generation: &[u64]) -> bool {
+        let restored = match self.wear.as_mut() {
+            Some(w) => w.restore_counters(pulses, generation),
+            None => false,
+        };
+        self.plane_cache = None;
+        restored
+    }
+
+    /// Books `pulses` programming pulses of wear on `(row, col)`; if that
+    /// crosses the cell's budget, the cell dies on the spot — a live
+    /// [`FaultKind::Dead`] entry every later read and write sees.
+    fn note_wear_pulses(&mut self, row: usize, col: usize, pulses: u64) {
+        let Some(w) = self.wear.as_mut() else {
+            return;
+        };
+        if w.note_pulses(row, col, pulses) {
+            let (rows, cols) = (self.rows, self.cols);
+            self.faults
+                .get_or_insert_with(|| FaultMap::pristine(rows, cols))
+                .set(row, col, FaultKind::Dead);
+            self.plane_cache = None;
+        }
+    }
+
     /// Advances the degradation clock by `cycles` logical pipeline cycles
     /// (one processed image = one cycle). No-op without an attached model.
     pub fn advance_cycles(&mut self, cycles: u64) {
@@ -151,6 +206,130 @@ impl Crossbar {
             f.clear_col(col);
             self.plane_cache = None;
         }
+    }
+
+    /// Remaps bit line `col` onto a fresh spare bit line at honest device
+    /// cost: the spare's cells start at level 0 (and, under wear, draw
+    /// fresh budgets from their own generation's stream), every fault on
+    /// the logical column clears, and the displaced column's intent levels
+    /// are driven into the spare through the full program-and-verify loop —
+    /// so the returned report carries the real pulse/verify-read bill the
+    /// energy, timing and endurance accounting must pay. `ideal_pulses` is
+    /// the tuning distance from a pristine spare.
+    ///
+    /// An out-of-range `col` is a no-op returning an empty report.
+    pub fn reprogram_col_from_spare(
+        &mut self,
+        col: usize,
+        policy: &VerifyPolicy,
+        rng: &mut impl Rng,
+    ) -> ProgramReport {
+        let mut report = ProgramReport::default();
+        if col >= self.cols {
+            return report;
+        }
+        let bits = self.cell_bits();
+        // Intent levels survive in the cells even when a fault pinned the
+        // physical reads (program paths keep tracking the target).
+        let targets: Vec<u8> = (0..self.rows).map(|r| self.level(r, col)).collect();
+        if let Some(f) = self.faults.as_mut() {
+            f.clear_col(col);
+        }
+        if let Some(w) = self.wear.as_mut() {
+            w.renew_col(col);
+        }
+        for (r, &target) in targets.iter().enumerate() {
+            let idx = r * self.cols + col;
+            let Some(cell) = self.cells.get_mut(idx) else {
+                continue;
+            };
+            *cell = ReramCell::new(bits);
+            report.ideal_pulses += u64::from(target);
+            let w = cell.program_verify(target, policy, rng);
+            report.pulses += u64::from(w.pulses);
+            report.verify_reads += u64::from(w.attempts);
+            if w.pulses > 0 {
+                if let Some(d) = self.drift.as_mut() {
+                    d.note_program(r, col);
+                }
+                if let Some(n) = self.noise.as_mut() {
+                    n.note_program(r, col);
+                }
+                // The spare itself wears; an unlucky budget draw can die
+                // during its very first reprogram and re-enter the ladder.
+                self.note_wear_pulses(r, col, u64::from(w.pulses));
+            }
+            if !w.verified {
+                let actual = self.level(r, col);
+                report.unrecoverable.push(UnrecoverableCell {
+                    row: r,
+                    col,
+                    target,
+                    actual,
+                });
+            }
+        }
+        self.write_spikes += report.pulses;
+        self.read_spikes += report.verify_reads;
+        self.plane_cache = None;
+        report
+    }
+
+    /// The smallest remaining write budget across word line `row` —
+    /// `u64::MAX` without wear. The wear-leveling scrub scheduler skips
+    /// rows whose headroom is below its threshold instead of burning their
+    /// last pulses on maintenance writes.
+    pub fn row_wear_headroom(&self, row: usize) -> u64 {
+        self.wear
+            .as_ref()
+            .map_or(u64::MAX, |w| w.row_min_remaining(row))
+    }
+
+    /// Row-major stored (intent) levels — what a checkpoint persists.
+    pub fn stored_levels(&self) -> Vec<u8> {
+        self.cells.iter().map(|c| c.level()).collect()
+    }
+
+    /// Overwrites the stored levels in place. Checkpoint restore only: no
+    /// programming pulses are issued and no wear/drift/noise bookkeeping
+    /// runs. Returns `false` (untouched) on a geometry mismatch; over-range
+    /// levels clamp to the cell's top level.
+    pub fn restore_levels(&mut self, levels: &[u8]) -> bool {
+        if levels.len() != self.rows * self.cols {
+            return false;
+        }
+        for (cell, &lvl) in self.cells.iter_mut().zip(levels) {
+            let _ = cell.program(lvl.min(cell.max_level()));
+        }
+        self.plane_cache = None;
+        true
+    }
+
+    /// Replaces the fault map wholesale (a pristine map for "no faults").
+    /// Checkpoint restore only. Returns `false` on a geometry mismatch.
+    pub fn restore_faults(&mut self, map: FaultMap) -> bool {
+        if (map.rows(), map.cols()) != (self.rows, self.cols) {
+            return false;
+        }
+        self.faults = Some(map);
+        self.plane_cache = None;
+        true
+    }
+
+    /// The spike counters `(read, write, output)` as one tuple, for
+    /// checkpoint persistence.
+    pub fn spike_counters(&self) -> (u64, u64, u64) {
+        (self.read_spikes, self.write_spikes, self.output_spikes)
+    }
+
+    /// Restores spike counters saved by [`spike_counters`]
+    /// (checkpoint restore only).
+    ///
+    /// [`spike_counters`]: Self::spike_counters
+    pub fn restore_spike_counters(&mut self, read: u64, write: u64, output: u64) {
+        self.read_spikes = read;
+        self.write_spikes = write;
+        self.output_spikes = output;
     }
 
     /// Word-line count.
@@ -217,6 +396,7 @@ impl Crossbar {
                     if let Some(n) = self.noise.as_mut() {
                         n.note_program(r, c);
                     }
+                    self.note_wear_pulses(r, c, p);
                 }
                 pulses += p;
             }
@@ -272,6 +452,9 @@ impl Crossbar {
                             policy.max_attempts as u64
                         };
                         report.pulses += wasted;
+                        // The wasted retry pulses still stress the pinned
+                        // cell's oxide.
+                        self.note_wear_pulses(r, c, wasted);
                         // Track the intent so a later repair + rewrite
                         // starts from the right place.
                         self.cells[idx].program(target);
@@ -285,6 +468,11 @@ impl Crossbar {
                             if let Some(n) = self.noise.as_mut() {
                                 n.note_program(r, c);
                             }
+                            // Every pulse (including verify retries) wears
+                            // the cell; a budget crossing kills it for all
+                            // *subsequent* accesses — this write's charge
+                            // already landed.
+                            self.note_wear_pulses(r, c, u64::from(w.pulses));
                         }
                         report.pulses += w.pulses as u64;
                         report.verify_reads += w.attempts as u64;
@@ -531,6 +719,8 @@ impl Crossbar {
                     if let Some(n) = self.noise.as_mut() {
                         n.note_program(r, c);
                     }
+                    // Scrub re-pulses wear cells out like any other write.
+                    self.note_wear_pulses(r, c, u64::from(w.pulses));
                 }
                 if !w.verified {
                     report.unrecoverable.push(UnrecoverableCell {
@@ -1017,6 +1207,59 @@ mod tests {
                 }),
             ),
             (
+                "attach_wear",
+                Box::new(|_| {}),
+                Box::new(|x| x.attach_wear(WearModel::with_endurance(8.0), 3)),
+            ),
+            (
+                "program under wear death",
+                Box::new(|x| x.attach_wear(WearModel::with_endurance(4.0), 3)),
+                Box::new(|x| {
+                    // Large tuning swings push several cells over their
+                    // ~4-pulse budgets, raising dead faults mid-write.
+                    x.program(&[vec![15; 4], vec![0; 4], vec![15; 4], vec![0; 4]]);
+                }),
+            ),
+            (
+                "reprogram_col_from_spare",
+                Box::new(|x| {
+                    x.attach_wear(WearModel::with_endurance(4.0), 3);
+                    x.program(&[vec![15; 4], vec![0; 4], vec![15; 4], vec![0; 4]]);
+                }),
+                Box::new(|x| {
+                    let mut rng = StdRng::seed_from_u64(4);
+                    x.reprogram_col_from_spare(1, &VerifyPolicy::default(), &mut rng);
+                }),
+            ),
+            (
+                "restore_levels",
+                Box::new(|_| {}),
+                Box::new(|x| {
+                    x.restore_levels(&[7u8; 16]);
+                }),
+            ),
+            (
+                "restore_faults",
+                Box::new(|_| {}),
+                Box::new(|x| {
+                    x.restore_faults(stuck_corner());
+                }),
+            ),
+            (
+                "restore_wear_counters",
+                Box::new(|x| {
+                    x.attach_wear(WearModel::with_endurance(4.0), 3);
+                    x.program(&[vec![15; 4], vec![0; 4], vec![15; 4], vec![0; 4]]);
+                }),
+                Box::new(|x| {
+                    x.restore_wear_counters(&[0; 16], &[0; 16]);
+                    // The counters no longer match the fault map, so
+                    // rebuild a coherent (empty) map too — this case only
+                    // probes cache invalidation, not consistency.
+                    x.restore_faults(FaultMap::pristine(4, 4));
+                }),
+            ),
+            (
                 "mvm_spiked under read disturb",
                 Box::new(|x| x.attach_drift(disturby(), 5)),
                 Box::new(|x| {
@@ -1052,6 +1295,130 @@ mod tests {
             let scalar = reference.mvm_spiked_scalar(&probe, 4);
             assert_eq!(packed, scalar, "{name}: packed MVM served stale planes");
         }
+    }
+
+    #[test]
+    fn wear_exhaustion_raises_live_dead_faults() {
+        use crate::wear::WearModel;
+        let mut xbar = Crossbar::new(2, 2, 4);
+        // Deterministic budgets: every cell survives exactly 20 pulses.
+        xbar.attach_wear(
+            WearModel {
+                median_writes: 20.0,
+                sigma: 0.0,
+            },
+            1,
+        );
+        // 15 pulses per cell: everyone still alive.
+        xbar.program(&[vec![15, 15], vec![15, 15]]);
+        assert!(xbar.fault_map().is_none(), "no deaths before the budget");
+        // +15 pulses (down to 0) crosses every 20-pulse budget: the whole
+        // array dies, pinned at level 0 on every read.
+        xbar.program(&[vec![0, 0], vec![0, 0]]);
+        let map = xbar.fault_map().unwrap();
+        assert_eq!(map.fault_count(), 4);
+        assert_eq!(map.get(0, 0), Some(crate::fault::FaultKind::Dead));
+        assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn wear_counts_verify_retry_pulses() {
+        use crate::wear::WearModel;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut xbar = Crossbar::new(1, 1, 4);
+        xbar.attach_wear(
+            WearModel {
+                median_writes: 1000.0,
+                sigma: 0.0,
+            },
+            1,
+        );
+        let noisy = VerifyPolicy {
+            max_attempts: 8,
+            write_sigma: 2.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = xbar.program_verify(&[vec![9]], &noisy, &mut rng);
+        let spent = 1000 - xbar.wear_state().unwrap().remaining_writes(0, 0);
+        assert_eq!(spent, report.pulses, "wear must bill retry pulses too");
+    }
+
+    #[test]
+    fn spare_remap_restores_reads_at_honest_cost() {
+        use crate::wear::WearModel;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut xbar = Crossbar::new(2, 2, 4);
+        xbar.attach_wear(
+            WearModel {
+                median_writes: 20.0,
+                sigma: 0.0,
+            },
+            1,
+        );
+        xbar.program(&[vec![9, 5], vec![7, 3]]);
+        // Burn out column 0 only.
+        xbar.program(&[vec![0, 5], vec![15, 3]]);
+        xbar.program(&[vec![9, 5], vec![7, 3]]);
+        let map = xbar.fault_map().unwrap();
+        assert!(map.get(0, 0).is_some() && map.get(1, 0).is_some());
+        assert_eq!(map.faulty_cols(), vec![0]);
+
+        let before_writes = xbar.write_spikes();
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = xbar.reprogram_col_from_spare(0, &VerifyPolicy::default(), &mut rng);
+        // The spare starts pristine: reprogramming to intent (9, 7) costs
+        // exactly those tuning pulses, billed to the write counter.
+        assert_eq!(report.pulses, 9 + 7);
+        assert_eq!(report.ideal_pulses, 9 + 7);
+        assert_eq!(report.verify_reads, 2);
+        assert!(report.unrecoverable.is_empty());
+        assert_eq!(xbar.write_spikes(), before_writes + 16);
+        assert!(xbar.fault_map().unwrap().get(0, 0).is_none());
+        // Fresh spare cells carry a fresh budget and full read fidelity.
+        assert_eq!(xbar.wear_state().unwrap().remaining_writes(0, 0), 20 - 9);
+        assert_eq!(xbar.mvm_spiked(&[1, 1], 4), vec![9 + 7, 5 + 3]);
+    }
+
+    #[test]
+    fn ideal_wear_attach_is_exact_noop() {
+        use crate::wear::WearModel;
+        let levels = vec![vec![1u8, 14], vec![7, 3]];
+        let mut plain = Crossbar::new(2, 2, 4);
+        plain.program(&levels);
+        let mut worn = plain.clone();
+        worn.attach_wear(WearModel::ideal(), 99);
+        assert!(worn.wear_state().is_none());
+        worn.program(&[vec![4, 4], vec![4, 4]]);
+        plain.program(&[vec![4, 4], vec![4, 4]]);
+        assert_eq!(plain.mvm_spiked(&[2, 3], 4), worn.mvm_spiked(&[2, 3], 4));
+        assert_eq!(plain.write_spikes(), worn.write_spikes());
+        assert!(worn.fault_map().is_none());
+    }
+
+    #[test]
+    fn wear_state_roundtrips_through_restore() {
+        use crate::wear::WearModel;
+        let model = WearModel::with_endurance(50.0);
+        let mut xbar = Crossbar::new(3, 3, 4);
+        xbar.attach_wear(model, 7);
+        xbar.program(&[vec![9; 3], vec![5; 3], vec![12; 3]]);
+        let (p, g) = xbar.wear_state().unwrap().counters();
+        let (p, g) = (p.to_vec(), g.to_vec());
+        let levels = xbar.stored_levels();
+        let (rs, ws, os) = xbar.spike_counters();
+
+        let mut fresh = Crossbar::new(3, 3, 4);
+        fresh.attach_wear(model, 7);
+        assert!(fresh.restore_levels(&levels));
+        assert!(fresh.restore_wear_counters(&p, &g));
+        fresh.restore_spike_counters(rs, ws, os);
+        assert_eq!(fresh.wear_state(), xbar.wear_state());
+        assert_eq!(fresh.stored_levels(), xbar.stored_levels());
+        assert_eq!(fresh.spike_counters(), xbar.spike_counters());
+        assert_eq!(
+            fresh.mvm_spiked(&[1, 1, 1], 4),
+            xbar.mvm_spiked(&[1, 1, 1], 4)
+        );
     }
 
     proptest! {

@@ -67,11 +67,16 @@ impl FaultModel {
     /// stuck-at-zero and stuck-at-max in the ~5:1 ratio fabrication
     /// studies report (SAZ forming failures dominate).
     ///
-    /// # Panics
-    ///
-    /// Panics unless `0 <= rate <= 1`.
+    /// An out-of-range or non-finite `rate` is debug-checked; release
+    /// builds clamp it into `[0, 1]` (treating NaN as 0) rather than
+    /// panicking mid-run.
     pub fn with_stuck_rate(rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0,1]");
+        debug_assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0,1]");
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         FaultModel {
             stuck_at_zero: rate * 5.0 / 6.0,
             stuck_at_max: rate / 6.0,
@@ -89,18 +94,21 @@ impl FaultModel {
         self.total_rate() == 0.0
     }
 
+    /// Debug-checks every rate; release builds proceed regardless (an
+    /// out-of-range rate only skews the draw — `u < rate` saturates at
+    /// all-faulty — it cannot index out of bounds).
     fn validate(&self) {
         for (name, r) in [
             ("stuck_at_zero", self.stuck_at_zero),
             ("stuck_at_max", self.stuck_at_max),
             ("dead", self.dead),
         ] {
-            assert!(
+            debug_assert!(
                 (0.0..=1.0).contains(&r) && r.is_finite(),
                 "{name} rate {r} must be in [0,1]"
             );
         }
-        assert!(self.total_rate() <= 1.0, "total fault rate exceeds 1");
+        debug_assert!(self.total_rate() <= 1.0, "total fault rate exceeds 1");
     }
 }
 
@@ -120,11 +128,11 @@ pub struct FaultMap {
 impl FaultMap {
     /// An all-healthy map.
     ///
-    /// # Panics
-    ///
-    /// Panics if `rows` or `cols` is zero.
+    /// A zero dimension is debug-checked; release builds bump it to 1
+    /// (degenerate but indexable) instead of panicking.
     pub fn pristine(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "fault map must be non-empty");
+        debug_assert!(rows > 0 && cols > 0, "fault map must be non-empty");
+        let (rows, cols) = (rows.max(1), cols.max(1));
         FaultMap {
             rows,
             cols,
@@ -138,9 +146,9 @@ impl FaultMap {
     /// crossbar-qualified), so whether a given cell is faulty is
     /// independent of geometry traversal order and thread count.
     ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is empty or any rate is outside `[0,1]`.
+    /// An empty geometry or out-of-range rate is debug-checked; release
+    /// builds proceed on the clamped/degenerate interpretation (see
+    /// [`FaultMap::pristine`] and [`FaultModel`]'s validation notes).
     pub fn generate(rows: usize, cols: usize, model: &FaultModel, seed: u64) -> Self {
         model.validate();
         let mut map = Self::pristine(rows, cols);
@@ -239,13 +247,12 @@ impl Default for VerifyPolicy {
 impl VerifyPolicy {
     /// A policy with `max_attempts` retries and noiseless pulses.
     ///
-    /// # Panics
-    ///
-    /// Panics if `max_attempts` is zero.
+    /// A zero attempt budget is debug-checked; release builds bump it to 1
+    /// (every write needs at least one pulse) instead of panicking.
     pub fn with_attempts(max_attempts: u32) -> Self {
-        assert!(max_attempts > 0, "need at least one programming attempt");
+        debug_assert!(max_attempts > 0, "need at least one programming attempt");
         VerifyPolicy {
-            max_attempts,
+            max_attempts: max_attempts.max(1),
             write_sigma: 0.0,
         }
     }
@@ -479,8 +486,21 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "fault rate")]
     fn rejects_out_of_range_rate() {
         FaultModel::with_stuck_rate(1.5);
+    }
+
+    /// Release builds clamp instead of panicking: out-of-range inputs to
+    /// the debug-checked constructors must still produce usable values.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_builds_clamp_bad_constructor_inputs() {
+        assert_eq!(FaultModel::with_stuck_rate(1.5).total_rate(), 1.0);
+        assert_eq!(FaultModel::with_stuck_rate(f64::NAN).total_rate(), 0.0);
+        assert_eq!(VerifyPolicy::with_attempts(0).max_attempts, 1);
+        let m = FaultMap::pristine(0, 4);
+        assert!(m.fault_count() == 0);
     }
 }

@@ -37,9 +37,12 @@
 //!   conductance spread, wire-resistance IR drop across the array
 //!   geometry, and per-read Gaussian noise, all seeded through the same
 //!   stream discipline so noisy campaigns replay bitwise.
+//! * [`wear`] — endurance wear-out: seeded per-cell lognormal write
+//!   budgets decremented by every programming pulse, transitioning
+//!   exhausted cells into live dead faults mid-run.
 //! * [`seedstream`] — the documented `(seed, crossbar, row, col, epoch)`
-//!   per-cell random-stream convention shared by `fault`, `variation` and
-//!   `drift` so campaigns reproduce at any thread count.
+//!   per-cell random-stream convention shared by `fault`, `variation`,
+//!   `drift` and `wear` so campaigns reproduce at any thread count.
 //! * [`energy`] / [`area`] — NVSim-derived timing/energy constants
 //!   (29.31 ns / 50.88 ns and 1.08 pJ / 3.91 nJ per read/write spike) and the
 //!   area model.
@@ -72,6 +75,7 @@ pub mod seedstream;
 pub mod spike;
 pub mod subarray;
 pub mod variation;
+pub mod wear;
 
 pub use area::AreaModel;
 pub use array_group::ReramMatrix;
@@ -86,3 +90,4 @@ pub use packed::{BitPlanes, PackedSpikes};
 pub use partition::tile_grid;
 pub use subarray::{MorphableSubarray, SubarrayMode};
 pub use variation::VariationModel;
+pub use wear::{WearModel, WearState};

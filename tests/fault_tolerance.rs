@@ -61,10 +61,7 @@ fn repaired_training_stays_within_two_points_of_fault_free() {
     );
     train(&mut repaired, &tr, &trl);
 
-    let report = DegradationReport {
-        baseline: ideal.accuracy(&te, &tel),
-        degraded: repaired.accuracy(&te, &tel),
-    };
+    let report = DegradationReport::new(ideal.accuracy(&te, &tel), repaired.accuracy(&te, &tel));
     assert!(
         report.within(2.0),
         "repaired run lost {} points (baseline {}, repaired {})",
@@ -97,10 +94,7 @@ fn silent_faults_degrade_measurably_without_repair() {
     let mut faulty = ReramMlp::with_faults(&DIMS, &params, 5, &FaultModel::with_stuck_rate(2e-2));
     train(&mut faulty, &tr, &trl);
 
-    let report = DegradationReport {
-        baseline: ideal.accuracy(&te, &tel),
-        degraded: faulty.accuracy(&te, &tel),
-    };
+    let report = DegradationReport::new(ideal.accuracy(&te, &tel), faulty.accuracy(&te, &tel));
     assert!(
         report.drop_points() > 10.0,
         "2% silent stuck cells should cost >10 points, lost {}",

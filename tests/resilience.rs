@@ -212,6 +212,7 @@ fn plw2_blob() -> Vec<u8> {
             epoch_losses: vec![1.5],
         }),
         velocities: None,
+        wear: Some(vec![0x57, 0xEA, 0x12]),
     };
     save_checkpoint(&mut net, &state)
 }
